@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * The simulated instruction budget scales with ARCC_BENCH_INSTRS
+ * (default one million per core, which reproduces the shapes in a few
+ * seconds per figure; the paper used 2 billion cycles in M5).
+ */
+
+#ifndef ARCC_BENCH_BENCH_COMMON_HH
+#define ARCC_BENCH_BENCH_COMMON_HH
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "cpu/system_sim.hh"
+#include "faults/fault_model.hh"
+#include "faults/lifetime_mc.hh"
+
+namespace arcc::bench
+{
+
+/** Per-core instruction budget (env ARCC_BENCH_INSTRS overrides). */
+inline std::uint64_t
+instrBudget()
+{
+    if (const char *env = std::getenv("ARCC_BENCH_INSTRS"))
+        return std::strtoull(env, nullptr, 10);
+    return 1'000'000;
+}
+
+/** Standard simulation config for a memory configuration. */
+inline SystemConfig
+systemConfig(const MemoryConfig &mem)
+{
+    SystemConfig cfg;
+    cfg.mem = mem;
+    cfg.instrsPerCore = instrBudget();
+    cfg.seed = 20130223; // HPCA 2013.
+    return cfg;
+}
+
+/** The Table 7.4 fault scenarios in paper order. */
+inline const std::vector<PageUpgradeOracle::Scenario> &
+faultScenarios()
+{
+    static const std::vector<PageUpgradeOracle::Scenario> s = {
+        PageUpgradeOracle::Scenario::Lane,
+        PageUpgradeOracle::Scenario::Device,
+        PageUpgradeOracle::Scenario::Bank,
+        PageUpgradeOracle::Scenario::Column,
+    };
+    return s;
+}
+
+/** Power / performance overheads of one fault scenario vs fault-free. */
+struct ScenarioOverheads
+{
+    /** Fractional power increase per scenario (paper Figure 7.2). */
+    std::array<double, 4> power{};
+    /** Fractional IPC decrease per scenario (paper Figure 7.3). */
+    std::array<double, 4> perf{};
+};
+
+/**
+ * Measure the mix-averaged overhead of each Table 7.4 scenario on the
+ * ARCC configuration (methodology step 1 of Section 7.1).
+ *
+ * @param mixes how many of the 12 mixes to average (all by default).
+ */
+inline ScenarioOverheads
+measureScenarioOverheads(int mixes = 12)
+{
+    SystemConfig cfg = systemConfig(arccConfig());
+    ScenarioOverheads out;
+    std::array<double, 4> power_sum{};
+    std::array<double, 4> perf_sum{};
+    for (int m = 0; m < mixes; ++m) {
+        const WorkloadMix &mix = table73Mixes()[m];
+        SimResult clean = simulateMix(mix, cfg, {});
+        for (std::size_t s = 0; s < faultScenarios().size(); ++s) {
+            auto oracle = PageUpgradeOracle::forScenario(
+                faultScenarios()[s], cfg.mem);
+            SimResult r = simulateMix(mix, cfg, oracle);
+            power_sum[s] += r.avgPowerMw / clean.avgPowerMw - 1.0;
+            perf_sum[s] += 1.0 - r.ipcSum / clean.ipcSum;
+        }
+    }
+    for (std::size_t s = 0; s < 4; ++s) {
+        out.power[s] = power_sum[s] / mixes;
+        out.perf[s] = perf_sum[s] / mixes;
+    }
+    return out;
+}
+
+/**
+ * Map measured scenario overheads onto the fault taxonomy for the
+ * lifetime Monte Carlo (Figures 7.4 / 7.5).  Row / word / bit faults
+ * upgrade a negligible number of pages, so their overhead is ~0.
+ */
+inline PerTypeOverhead
+toPerTypeOverhead(const std::array<double, 4> &scenario)
+{
+    PerTypeOverhead o{};
+    o[static_cast<int>(FaultType::Lane)] = scenario[0];
+    o[static_cast<int>(FaultType::Device)] = scenario[1];
+    o[static_cast<int>(FaultType::Bank)] = scenario[2];
+    o[static_cast<int>(FaultType::Column)] = scenario[3];
+    return o;
+}
+
+/** Worst-case-estimate overhead: the upgraded page fraction itself. */
+inline PerTypeOverhead
+worstCaseOverhead(const DomainGeometry &geom, double cost_factor)
+{
+    PerTypeOverhead o{};
+    for (FaultType t : allFaultTypes())
+        o[static_cast<int>(t)] =
+            cost_factor * geom.pageFraction(t);
+    return o;
+}
+
+/** Default reliability-domain geometry (72 devices, 4 GB). */
+inline DomainGeometry
+defaultGeometry()
+{
+    DomainGeometry g;
+    g.ranks = 2;
+    g.devicesPerRank = 36;
+    g.banksPerDevice = 8;
+    g.pagesPerRow = 2;
+    g.pages = 1048576;
+    return g;
+}
+
+} // namespace arcc::bench
+
+#endif // ARCC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section 6.1 (DUE rates) and the Chapter 5.2 motivation for double
+ * chip sparing.
+ *
+ * Two claims are reproduced:
+ *
+ *  1. **ARCC does not degrade the DUE rate** (Section 6.1): both the
+ *     commercial baseline and ARCC turn a second overlapping fault
+ *     into a detectable uncorrectable error; the DUE structure --
+ *     overlapping fault pairs over the machine's lifetime -- is the
+ *     same for both, so the model yields identical values by
+ *     construction.  We print both geometries' numbers.
+ *
+ *  2. **Double chip sparing slashes the DUE rate** (the "17X" the
+ *     paper cites from HP when motivating ARCC+LOT-ECC): with sparing,
+ *     an overlapping pair is only uncorrectable when the second fault
+ *     lands *before the first is detected and remapped* -- a scrub
+ *     window, not a lifetime.  The ratio of the two models is the
+ *     sparing benefit.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "reliability/sdc_model.hh"
+
+using namespace arcc;
+
+int
+main()
+{
+    printBanner("Section 6.1: DUE rates and the chip-sparing benefit");
+
+    TextTable t;
+    t.header({"Rate", "Lifespan", "SCC DUE /1000 MY",
+              "DCS DUE /1000 MY", "sparing benefit"});
+    for (double factor : {1.0, 2.0, 4.0}) {
+        for (double years : {5.0, 7.0}) {
+            SdcModelConfig cfg = SdcModelConfig::sccdcdMachine();
+            cfg.rates = FaultRates::fieldStudy().scaled(factor);
+            SdcModel m(cfg);
+            // Single chipkill correct: any overlapping pair over the
+            // lifetime is uncorrectable -> DUE.
+            double scc = m.dueEvents(years) / years * 1000.0;
+            // Double chip sparing: the pair is only fatal inside the
+            // detection window, which is the same mathematical object
+            // as the ARCC-DED SDC structure.
+            double dcs = m.arccSdcEvents(years) / years * 1000.0;
+            t.row({TextTable::num(factor, 0) + "x",
+                   TextTable::num(years, 0) + "y",
+                   TextTable::sci(scc, 2), TextTable::sci(dcs, 2),
+                   TextTable::num(scc / dcs, 0) + "x"});
+        }
+    }
+    t.print();
+
+    std::printf("\nSection 6.1 claims, checked by construction:\n");
+    SdcModel arcc_m(SdcModelConfig::arccMachine());
+    SdcModel base_m(SdcModelConfig::sccdcdMachine());
+    std::printf("  SCCDCD DUE (72 devices as 2x36): %.3e per machine "
+                "over 7y\n", base_m.dueEvents(7.0));
+    std::printf("  ARCC   DUE (72 devices as 4x18): %.3e per machine "
+                "over 7y\n", arcc_m.dueEvents(7.0));
+    std::printf("  (the ARCC grouping has *fewer* devices per "
+                "codeword, so its raw pair-overlap DUE rate is\n"
+                "   lower; the paper's claim -- no degradation -- "
+                "holds with margin)\n");
+    std::printf("\nThe sparing-benefit column is the model's version "
+                "of the 17X DUE reduction the paper\ncites when "
+                "motivating ARCC+LOT-ECC (Chapter 5.2): the exact "
+                "factor depends on the scrub\nperiod (%g h here) "
+                "relative to the machine lifetime.\n", 4.0);
+    return 0;
+}

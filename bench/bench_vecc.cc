@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chapter 5.2, VECC half: access-amplification profile of VECC and of
+ * ARCC applied to VECC (18-device -> 9-device relaxed ranks), plus the
+ * lifetime overhead of the upgraded pages, mirroring the Figure 7.6
+ * analysis for the VECC substrate.
+ */
+
+#include <cstdio>
+
+#include "arcc/vecc.hh"
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "faults/lifetime_mc.hh"
+
+using namespace arcc;
+
+namespace
+{
+
+/** Device accesses per read/write for one geometry and fault state. */
+void
+profile(TextTable &t, const char *label, const VeccGeometry &geom,
+        bool dead_device, double t2_hit)
+{
+    VeccMemory mem(geom, 256, t2_hit, 11);
+    Rng rng(12);
+    std::vector<std::uint8_t> line(mem.lineBytes());
+    for (std::uint64_t l = 0; l < 256; ++l) {
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        mem.write(l, line);
+    }
+    auto writes = mem.stats().deviceAccesses;
+    if (dead_device)
+        mem.killDevice(3);
+    for (std::uint64_t l = 0; l < 256; ++l)
+        mem.read(l);
+    auto reads = mem.stats().deviceAccesses - writes;
+
+    t.row({label, std::to_string(geom.devices),
+           TextTable::num(static_cast<double>(reads) / 256.0, 1),
+           TextTable::num(static_cast<double>(writes) / 256.0, 1),
+           std::to_string(mem.stats().tier2Fetches),
+           std::to_string(mem.stats().corrected)});
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Chapter 5.2: ARCC applied to VECC");
+    std::printf("Device accesses per operation (256-line functional "
+                "region, tier-2 LLC hit rate 50%%):\n\n");
+
+    TextTable t;
+    t.header({"Configuration", "Rank", "dev-acc/read", "dev-acc/write",
+              "t2 fetches", "corrected"});
+    profile(t, "VECC 18-dev, fault-free", VeccGeometry::vecc18(),
+            false, 0.5);
+    profile(t, "VECC 18-dev, 1 dead device", VeccGeometry::vecc18(),
+            true, 0.5);
+    profile(t, "ARCC+VECC relaxed 9-dev, fault-free",
+            VeccGeometry::vecc9(), false, 0.5);
+    profile(t, "ARCC+VECC relaxed 9-dev, 1 dead device",
+            VeccGeometry::vecc9(), true, 0.5);
+    t.print();
+
+    std::printf("\nReading: fault-free VECC touches 18 devices; ARCC "
+                "relaxes fault-free pages to 9-device\nranks "
+                "(Chapter 5.2), halving the access cost while a dead "
+                "device still corrects through\nthe virtualised "
+                "tier-2 symbols at 2x cost.\n");
+
+    // Lifetime overhead of upgraded (18-device) pages vs the 9-device
+    // relaxed baseline: upgraded reads cost 2x.  Same methodology as
+    // Figure 7.6 with cost factor 1 (power doubles on upgraded pages).
+    printBanner("Lifetime overhead of ARCC+VECC upgrades");
+    DomainGeometry geom = bench::defaultGeometry();
+    PerTypeOverhead worst = bench::worstCaseOverhead(geom, 1.0);
+    TextTable o;
+    o.header({"Year", "1x rate", "2x rate", "4x rate"});
+    std::vector<std::vector<double>> by_factor;
+    for (double factor : {1.0, 2.0, 4.0}) {
+        LifetimeMcConfig cfg;
+        cfg.geom = geom;
+        cfg.rates = FaultRates::fieldStudy().scaled(factor);
+        cfg.channels = 10000;
+        LifetimeMc mc(cfg);
+        by_factor.push_back(mc.cumulativeOverheadByYear(worst, 1.0));
+    }
+    for (int y = 0; y < 7; ++y)
+        o.row({std::to_string(y + 1),
+               TextTable::pct(by_factor[0][y], 3),
+               TextTable::pct(by_factor[1][y], 3),
+               TextTable::pct(by_factor[2][y], 3)});
+    o.print();
+    std::printf("\nShape: worst-case upgrade overhead stays well "
+                "below the ~50%% fault-free saving of\nthe 9-device "
+                "relaxed mode, the same story as Figures 7.4-7.6.\n");
+    return 0;
+}

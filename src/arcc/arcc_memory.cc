@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Functional ARCC memory implementation.
+ */
+
+#include "arcc/arcc_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+const char *
+toString(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::CommercialSccdcd:  return "commercial SCCDCD";
+      case SchemeKind::DoubleChipSparing: return "double chip sparing";
+      case SchemeKind::ArccCommercial:    return "ARCC (commercial)";
+      case SchemeKind::ArccDcs:           return "ARCC (chip sparing)";
+      case SchemeKind::LotEcc9:           return "LOT-ECC 9-device";
+      case SchemeKind::ArccLotEcc:        return "ARCC (LOT-ECC)";
+    }
+    return "?";
+}
+
+int
+FunctionalConfig::linesPerRow() const
+{
+    return pagesPerRow * static_cast<int>(kLinesPerPage) / channels;
+}
+
+std::uint64_t
+FunctionalConfig::capacity() const
+{
+    return static_cast<std::uint64_t>(channels) * ranksPerChannel *
+           banks * rows * linesPerRow() * kLineBytes;
+}
+
+FunctionalConfig
+FunctionalConfig::arccSmall()
+{
+    FunctionalConfig c;
+    c.scheme = SchemeKind::ArccCommercial;
+    c.channels = 2;
+    c.ranksPerChannel = 2;
+    c.devicesPerRank = 18;
+    c.banks = 2;
+    c.rows = 16;
+    return c; // 2*2*2*16*64 lines = 512 KB, 128 pages.
+}
+
+FunctionalConfig
+FunctionalConfig::baselineSmall()
+{
+    FunctionalConfig c = arccSmall();
+    c.scheme = SchemeKind::CommercialSccdcd;
+    c.ranksPerChannel = 1;
+    c.devicesPerRank = 36;
+    c.rows = 32;
+    return c;
+}
+
+FunctionalConfig
+FunctionalConfig::arccWide()
+{
+    FunctionalConfig c = arccSmall();
+    c.scheme = SchemeKind::ArccDcs;
+    c.channels = 4;
+    c.allowLevel2 = true;
+    c.rows = 8;
+    return c;
+}
+
+FunctionalConfig
+FunctionalConfig::lotSmall()
+{
+    FunctionalConfig c = arccSmall();
+    c.scheme = SchemeKind::ArccLotEcc;
+    c.devicesPerRank = 9;
+    return c;
+}
+
+namespace
+{
+
+/** Fixed schemes run their single code as "Relaxed"; adaptive schemes
+ *  boot every page Upgraded per Section 4.2.1. */
+PageMode
+bootMode(SchemeKind scheme)
+{
+    switch (scheme) {
+      case SchemeKind::CommercialSccdcd:
+      case SchemeKind::DoubleChipSparing:
+      case SchemeKind::LotEcc9:
+        return PageMode::Relaxed;
+      default:
+        return PageMode::Upgraded;
+    }
+}
+
+} // anonymous namespace
+
+ArccMemory::ArccMemory(const FunctionalConfig &config)
+    : config_(config),
+      pageTable_(config.pages(), bootMode(config.scheme))
+{
+    switch (config_.scheme) {
+      case SchemeKind::CommercialSccdcd:
+        relaxedCodec_ = schemes::commercialSccdcd();
+        break;
+      case SchemeKind::DoubleChipSparing:
+        relaxedCodec_ = schemes::doubleChipSparing();
+        break;
+      case SchemeKind::ArccCommercial:
+        relaxedCodec_ = schemes::arccRelaxed();
+        upgradedCodec_ = schemes::arccUpgraded();
+        if (config_.allowLevel2)
+            upgraded2Codec_ = schemes::arccUpgraded2();
+        break;
+      case SchemeKind::ArccDcs:
+        relaxedCodec_ = schemes::arccRelaxed();
+        upgradedCodec_ = std::make_unique<RsLineCodec>(
+            36, 32, 128, 2, "ARCC+DCS upgraded RS(36,32)");
+        if (config_.allowLevel2)
+            upgraded2Codec_ = std::make_unique<RsLineCodec>(
+                72, 64, 256, 2, "ARCC+DCS upgraded-2 RS(72,64)");
+        break;
+      case SchemeKind::LotEcc9:
+        relaxedCodec_ = schemes::lotEcc9();
+        break;
+      case SchemeKind::ArccLotEcc:
+        relaxedCodec_ = schemes::lotEcc9();
+        upgradedCodec_ = schemes::lotEcc18();
+        break;
+    }
+
+    if (relaxedCodec_->devices() != config_.devicesPerRank)
+        fatal("ArccMemory: scheme %s needs %d devices/rank, config has %d",
+              toString(config_.scheme), relaxedCodec_->devices(),
+              config_.devicesPerRank);
+    if (upgradedCodec_ &&
+        upgradedCodec_->devices() > 2 * config_.devicesPerRank)
+        fatal("ArccMemory: upgraded codec spans %d devices, only %d "
+              "available",
+              upgradedCodec_->devices(), 2 * config_.devicesPerRank);
+    if (upgraded2Codec_ && config_.channels < 4)
+        fatal("ArccMemory: level-2 upgrade needs 4 channels, have %d",
+              config_.channels);
+
+    slotBytes_ = relaxedCodec_->sliceBytes();
+    if (upgradedCodec_)
+        slotBytes_ = std::max(slotBytes_, upgradedCodec_->sliceBytes());
+    if (upgraded2Codec_)
+        slotBytes_ = std::max(slotBytes_, upgraded2Codec_->sliceBytes());
+
+    std::size_t slots = static_cast<std::size_t>(config_.banks) *
+                        config_.rows * config_.linesPerRow();
+    storage_.assign(static_cast<std::size_t>(config_.channels) *
+                        config_.ranksPerChannel * config_.devicesPerRank,
+                    std::vector<std::uint8_t>(slots * slotBytes_, 0));
+    spared_.assign(static_cast<std::size_t>(config_.channels) *
+                       config_.ranksPerChannel,
+                   {});
+
+    // Initialise the arrays to *properly encoded* zero content so a
+    // fresh memory decodes clean under every scheme (the LOT-ECC
+    // checksum convention makes raw zeros inconsistent on purpose).
+    PageMode mode = bootMode(config_.scheme);
+    const LineCodec &codec = codecFor(mode);
+    std::vector<std::uint8_t> zeros(codec.dataBytes(), 0);
+    DeviceSlices slices = codec.encode(zeros);
+    for (std::uint64_t base = 0; base < capacity();
+         base += codec.dataBytes())
+        storeGroup(base, mode, slices);
+}
+
+ArccMemory::Loc
+ArccMemory::locOf(std::uint64_t addr) const
+{
+    ARCC_ASSERT(addr < capacity());
+    std::uint64_t line = addr / kLineBytes;
+    Loc loc;
+    loc.channel = static_cast<int>(line % config_.channels);
+    line /= config_.channels;
+    loc.col = static_cast<int>(line % config_.linesPerRow());
+    line /= config_.linesPerRow();
+    loc.bank = static_cast<int>(line % config_.banks);
+    line /= config_.banks;
+    loc.rank = static_cast<int>(line % config_.ranksPerChannel);
+    line /= config_.ranksPerChannel;
+    loc.row = static_cast<std::uint32_t>(line);
+    return loc;
+}
+
+std::size_t
+ArccMemory::slotOffset(const Loc &loc) const
+{
+    std::size_t slot =
+        (static_cast<std::size_t>(loc.bank) * config_.rows + loc.row) *
+            config_.linesPerRow() +
+        loc.col;
+    return slot * slotBytes_;
+}
+
+std::uint8_t *
+ArccMemory::slicePtr(int channel, int rank, int device, const Loc &loc)
+{
+    std::size_t dev_idx =
+        (static_cast<std::size_t>(channel) * config_.ranksPerChannel +
+         rank) * config_.devicesPerRank +
+        device;
+    return storage_[dev_idx].data() + slotOffset(loc);
+}
+
+const LineCodec &
+ArccMemory::codecFor(PageMode mode) const
+{
+    switch (mode) {
+      case PageMode::Relaxed:
+        return *relaxedCodec_;
+      case PageMode::Upgraded:
+        ARCC_ASSERT(upgradedCodec_);
+        return *upgradedCodec_;
+      case PageMode::Upgraded2:
+        ARCC_ASSERT(upgraded2Codec_);
+        return *upgraded2Codec_;
+    }
+    return *relaxedCodec_;
+}
+
+int
+ArccMemory::subLines(PageMode mode) const
+{
+    return codecFor(mode).dataBytes() / static_cast<int>(kLineBytes);
+}
+
+std::uint64_t
+ArccMemory::groupBytes(PageMode mode) const
+{
+    return codecFor(mode).dataBytes();
+}
+
+void
+ArccMemory::applyOverlay(std::span<std::uint8_t> bytes, int channel,
+                         int rank, int device, const Loc &loc) const
+{
+    for (const FunctionalFault &f : faults_) {
+        if (f.channel != channel || f.device != device)
+            continue;
+        if (f.scope != FaultScope::Lane && f.rank != rank)
+            continue;
+        bool match = false;
+        switch (f.scope) {
+          case FaultScope::Device:
+          case FaultScope::Lane:
+            match = true;
+            break;
+          case FaultScope::Bank:
+            match = loc.bank == f.bank;
+            break;
+          case FaultScope::Row:
+            match = loc.bank == f.bank &&
+                    loc.row == static_cast<std::uint32_t>(f.row);
+            break;
+          case FaultScope::Column:
+            match = loc.bank == f.bank && loc.col == f.col;
+            break;
+          case FaultScope::Cell:
+            match = loc.bank == f.bank &&
+                    loc.row == static_cast<std::uint32_t>(f.row) &&
+                    loc.col == f.col;
+            break;
+        }
+        if (!match)
+            continue;
+        switch (f.kind) {
+          case FaultKind::StuckAt1:
+            for (auto &b : bytes)
+                b |= f.mask;
+            break;
+          case FaultKind::StuckAt0:
+            for (auto &b : bytes)
+                b &= static_cast<std::uint8_t>(~f.mask);
+            break;
+          case FaultKind::Corrupt: {
+            // Deterministic wrong data: the same garbage on every read
+            // of the same location, like a broken address decoder.
+            std::uint64_t z = (static_cast<std::uint64_t>(channel) << 48) ^
+                              (static_cast<std::uint64_t>(rank) << 40) ^
+                              (static_cast<std::uint64_t>(device) << 32) ^
+                              (static_cast<std::uint64_t>(loc.bank) << 24) ^
+                              (static_cast<std::uint64_t>(loc.row) << 12) ^
+                              static_cast<std::uint64_t>(loc.col);
+            z += 0x9e3779b97f4a7c15ULL;
+            for (std::size_t i = 0; i < bytes.size(); ++i) {
+                std::uint64_t x = z + i * 0xbf58476d1ce4e5b9ULL;
+                x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+                x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+                bytes[i] = static_cast<std::uint8_t>(x >> 56);
+            }
+            break;
+          }
+        }
+    }
+}
+
+DeviceSlices
+ArccMemory::gatherGroup(std::uint64_t group_base, PageMode mode)
+{
+    const LineCodec &codec = codecFor(mode);
+    const int dpr = config_.devicesPerRank;
+    const int slice = codec.sliceBytes();
+    DeviceSlices slices(codec.devices());
+
+    for (int d = 0; d < codec.devices(); ++d) {
+        int sub = d / dpr;
+        Loc loc = locOf(group_base + sub * kLineBytes);
+        std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
+        slices[d].assign(p, p + slice);
+        applyOverlay(slices[d], loc.channel, loc.rank, d % dpr, loc);
+    }
+    return slices;
+}
+
+void
+ArccMemory::storeGroup(std::uint64_t group_base, PageMode mode,
+                       const DeviceSlices &slices)
+{
+    const LineCodec &codec = codecFor(mode);
+    const int dpr = config_.devicesPerRank;
+    const int slice = codec.sliceBytes();
+    ARCC_ASSERT(slices.size() ==
+                static_cast<std::size_t>(codec.devices()));
+
+    for (int d = 0; d < codec.devices(); ++d) {
+        int sub = d / dpr;
+        Loc loc = locOf(group_base + sub * kLineBytes);
+        std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
+        std::memcpy(p, slices[d].data(), slice);
+    }
+}
+
+std::vector<int>
+ArccMemory::erasedFor(std::uint64_t group_base, PageMode mode) const
+{
+    const LineCodec &codec = codecFor(mode);
+    const int dpr = config_.devicesPerRank;
+    std::vector<int> erased;
+    for (int d = 0; d < codec.devices(); ++d) {
+        int sub = d / dpr;
+        Loc loc = locOf(group_base + sub * kLineBytes);
+        const auto &list = spared_[static_cast<std::size_t>(loc.channel) *
+                                       config_.ranksPerChannel +
+                                   loc.rank];
+        if (std::find(list.begin(), list.end(), d % dpr) != list.end())
+            erased.push_back(d);
+    }
+    return erased;
+}
+
+ReadResult
+ArccMemory::readGroup(std::uint64_t group_base, PageMode mode)
+{
+    const LineCodec &codec = codecFor(mode);
+    DeviceSlices slices = gatherGroup(group_base, mode);
+    std::vector<int> erased = erasedFor(group_base, mode);
+
+    ReadResult res;
+    res.data.resize(codec.dataBytes());
+    DecodeResult dec = codec.decode(slices, res.data, erased);
+    res.status = dec.status;
+    res.symbolsCorrected = dec.symbolsCorrected;
+    stats_.deviceReads += codec.devices();
+    if (dec.status == DecodeStatus::Corrected)
+        stats_.corrected += dec.symbolsCorrected;
+    if (dec.status == DecodeStatus::Detected)
+        ++stats_.dues;
+    return res;
+}
+
+ReadResult
+ArccMemory::read(std::uint64_t addr)
+{
+    ++stats_.reads;
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    std::uint64_t group = groupBytes(mode);
+    std::uint64_t base = addr & ~(group - 1);
+    ReadResult whole = readGroup(base, mode);
+
+    ReadResult res;
+    res.status = whole.status;
+    res.symbolsCorrected = whole.symbolsCorrected;
+    std::size_t off = static_cast<std::size_t>(addr - base) &
+                      ~(kLineBytes - 1);
+    res.data.assign(whole.data.begin() + off,
+                    whole.data.begin() + off + kLineBytes);
+    return res;
+}
+
+ReadResult
+ArccMemory::readWholeGroup(std::uint64_t addr)
+{
+    ++stats_.reads;
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    return readGroup(base, mode);
+}
+
+void
+ArccMemory::writeGroup(std::uint64_t addr,
+                       std::span<const std::uint8_t> data)
+{
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    ARCC_ASSERT(data.size() ==
+                static_cast<std::size_t>(codec.dataBytes()));
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    DeviceSlices slices = codec.encode(data);
+    storeGroup(base, mode, slices);
+    ++stats_.writes;
+    stats_.deviceWrites += codec.devices();
+}
+
+void
+ArccMemory::write(std::uint64_t addr, std::span<const std::uint8_t> data)
+{
+    ARCC_ASSERT(data.size() == kLineBytes);
+    ++stats_.writes;
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t group = groupBytes(mode);
+    std::uint64_t base = addr & ~(group - 1);
+
+    std::vector<std::uint8_t> buf;
+    if (subLines(mode) == 1) {
+        buf.assign(data.begin(), data.end());
+    } else {
+        // Read-modify-write: both (all) sub-lines of the group share
+        // check symbols, so the whole group is re-encoded (this is why
+        // the LLC evicts upgraded sub-lines together, Section 4.2.3).
+        ReadResult whole = readGroup(base, mode);
+        buf = std::move(whole.data);
+        std::size_t off = static_cast<std::size_t>(addr - base) &
+                          ~(kLineBytes - 1);
+        std::copy(data.begin(), data.end(), buf.begin() + off);
+    }
+    DeviceSlices slices = codec.encode(buf);
+    storeGroup(base, mode, slices);
+    stats_.deviceWrites += codec.devices();
+}
+
+void
+ArccMemory::setPageMode(std::uint64_t page, PageMode mode)
+{
+    PageMode old = pageTable_.mode(page);
+    if (old == mode)
+        return;
+    if (mode != PageMode::Relaxed && !upgradedCodec_)
+        fatal("scheme %s has no upgraded mode",
+              toString(config_.scheme));
+    if (mode == PageMode::Upgraded2 && !upgraded2Codec_)
+        fatal("level-2 upgrade not enabled for this memory");
+
+    // Read the whole page under the old code (correcting what we can),
+    // then re-encode under the new one.  Only this page is touched.
+    std::uint64_t page_base = page * kPageBytes;
+    std::vector<std::uint8_t> content(kPageBytes);
+    std::uint64_t old_group = groupBytes(old);
+    for (std::uint64_t off = 0; off < kPageBytes; off += old_group) {
+        ReadResult r = readGroup(page_base + off, old);
+        std::copy(r.data.begin(), r.data.end(),
+                  content.begin() + off);
+    }
+
+    pageTable_.setMode(page, mode);
+
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t new_group = groupBytes(mode);
+    for (std::uint64_t off = 0; off < kPageBytes; off += new_group) {
+        std::span<const std::uint8_t> chunk(content.data() + off,
+                                            new_group);
+        DeviceSlices slices = codec.encode(chunk);
+        storeGroup(page_base + off, mode, slices);
+        stats_.deviceWrites += codec.devices();
+    }
+}
+
+void
+ArccMemory::rawFill(std::uint64_t addr, std::uint8_t value)
+{
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    const int dpr = config_.devicesPerRank;
+    for (int d = 0; d < codec.devices(); ++d) {
+        Loc loc = locOf(base + (d / dpr) * kLineBytes);
+        std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
+        std::memset(p, value, codec.sliceBytes());
+    }
+}
+
+bool
+ArccMemory::rawCheck(std::uint64_t addr, std::uint8_t value)
+{
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    DeviceSlices slices = gatherGroup(base, mode);
+    for (const auto &s : slices)
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(codec.sliceBytes()); ++i)
+            if (s[i] != value)
+                return false;
+    return true;
+}
+
+std::vector<std::uint8_t>
+ArccMemory::rawSnapshot(std::uint64_t addr)
+{
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    const int dpr = config_.devicesPerRank;
+    std::vector<std::uint8_t> snap;
+    for (int d = 0; d < codec.devices(); ++d) {
+        Loc loc = locOf(base + (d / dpr) * kLineBytes);
+        std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
+        snap.insert(snap.end(), p, p + codec.sliceBytes());
+    }
+    return snap;
+}
+
+void
+ArccMemory::rawRestore(std::uint64_t addr,
+                       std::span<const std::uint8_t> snapshot)
+{
+    PageMode mode = pageTable_.mode(pageOf(addr));
+    const LineCodec &codec = codecFor(mode);
+    std::uint64_t base = addr & ~(groupBytes(mode) - 1);
+    const int dpr = config_.devicesPerRank;
+    const int slice = codec.sliceBytes();
+    ARCC_ASSERT(snapshot.size() ==
+                static_cast<std::size_t>(codec.devices()) * slice);
+    for (int d = 0; d < codec.devices(); ++d) {
+        Loc loc = locOf(base + (d / dpr) * kLineBytes);
+        std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
+        std::memcpy(p, snapshot.data() + d * slice, slice);
+    }
+}
+
+void
+ArccMemory::injectFault(const FunctionalFault &fault)
+{
+    ARCC_ASSERT(fault.channel >= 0 && fault.channel < config_.channels);
+    ARCC_ASSERT(fault.device >= 0 &&
+                fault.device < config_.devicesPerRank);
+    faults_.push_back(fault);
+}
+
+void
+ArccMemory::spareDevice(int channel, int rank, int device)
+{
+    auto &list = spared_[static_cast<std::size_t>(channel) *
+                             config_.ranksPerChannel +
+                         rank];
+    if (std::find(list.begin(), list.end(), device) == list.end())
+        list.push_back(device);
+}
+
+const std::vector<int> &
+ArccMemory::sparedDevices(int channel, int rank) const
+{
+    return spared_[static_cast<std::size_t>(channel) *
+                       config_.ranksPerChannel +
+                   rank];
+}
+
+} // namespace arcc

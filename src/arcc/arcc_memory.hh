@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The functional (bit-true) ARCC memory: simulated DRAM devices with
+ * fault overlays, per-page adaptive ECC, and raw access hooks for the
+ * test-pattern scrubber.
+ *
+ * This is the data plane of the reproduction (DESIGN.md section 7):
+ * real bytes are encoded into per-device symbol slices on write,
+ * device-level faults corrupt the slices on read, and reads decode and
+ * correct through the scheme codecs of ecc_scheme.hh.  Page modes come
+ * from the PageTable; upgrading a page re-reads every line under the
+ * old code and re-encodes it under the stronger one, touching only the
+ * page itself, exactly as Section 4.2.1 describes.
+ *
+ * Geometry is configurable and deliberately small by default (the
+ * functional plane proves the mechanism; the performance plane in
+ * src/dram and src/cpu carries the paper's Figure 7.x workloads).
+ */
+
+#ifndef ARCC_ARCC_ARCC_MEMORY_HH
+#define ARCC_ARCC_ARCC_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arcc/ecc_scheme.hh"
+#include "arcc/page_table.hh"
+#include "common/units.hh"
+
+namespace arcc
+{
+
+/** Protection scheme the functional memory runs. */
+enum class SchemeKind
+{
+    /** Fixed RS(36,32), correct 1 / detect 2 (the baseline). */
+    CommercialSccdcd,
+    /** Fixed RS(36,32) with spare-device remap, correct up to 2. */
+    DoubleChipSparing,
+    /** ARCC over commercial chipkill: RS(18,16) <-> RS(36,32). */
+    ArccCommercial,
+    /** ARCC over double chip sparing (enables the Ch 5.1 level 2). */
+    ArccDcs,
+    /** Fixed nine-device LOT-ECC. */
+    LotEcc9,
+    /** ARCC over LOT-ECC: 9-device <-> 18-device (Ch 5.2). */
+    ArccLotEcc,
+};
+
+/** Display name. */
+const char *toString(SchemeKind k);
+
+/** Functional-plane geometry and scheme selection. */
+struct FunctionalConfig
+{
+    SchemeKind scheme = SchemeKind::ArccCommercial;
+    int channels = 2;
+    int ranksPerChannel = 2;
+    /** Devices in one channel's rank (36 / 18 / 9 by scheme). */
+    int devicesPerRank = 18;
+    int banks = 2;
+    int rows = 16;
+    int pagesPerRow = 2;
+    /** Allow the Chapter 5.1 second upgrade level (needs 4 channels). */
+    bool allowLevel2 = false;
+
+    /** Lines per channel-row slice. */
+    int linesPerRow() const;
+    /** Total data capacity in bytes. */
+    std::uint64_t capacity() const;
+    /** 4KB pages. */
+    std::uint64_t pages() const { return capacity() / kPageBytes; }
+
+    /** Small ARCC-over-commercial config (512 KB, 128 pages). */
+    static FunctionalConfig arccSmall();
+    /** Small commercial SCCDCD baseline (36-device channels). */
+    static FunctionalConfig baselineSmall();
+    /** Four-channel config for the Chapter 5.1 second level. */
+    static FunctionalConfig arccWide();
+    /** ARCC over LOT-ECC (9-device ranks). */
+    static FunctionalConfig lotSmall();
+};
+
+/** How a faulty device corrupts its output. */
+enum class FaultKind
+{
+    StuckAt1,
+    StuckAt0,
+    /** Wrong data of full weight (e.g. a broken address decoder). */
+    Corrupt,
+};
+
+/** Footprint of an injected functional fault. */
+enum class FaultScope
+{
+    Device, ///< the device's whole array.
+    Lane,   ///< this device position in every rank of the channel.
+    Bank,   ///< one bank.
+    Row,    ///< one row of one bank.
+    Column, ///< one column of one bank.
+    Cell,   ///< a single line slot (bit/word faults).
+};
+
+/** One injected device fault. */
+struct FunctionalFault
+{
+    int channel = 0;
+    int rank = 0;
+    int device = 0;
+    FaultScope scope = FaultScope::Device;
+    FaultKind kind = FaultKind::Corrupt;
+    int bank = 0;
+    int row = 0;
+    int col = 0;
+    /** Bits affected within each slice byte (stuck-at kinds). */
+    std::uint8_t mask = 0xff;
+};
+
+/** Result of a functional read. */
+struct ReadResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    int symbolsCorrected = 0;
+    std::vector<std::uint8_t> data;
+};
+
+/** Counters exposed for tests and examples. */
+struct MemoryStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t deviceReads = 0;  ///< device touches on reads.
+    std::uint64_t deviceWrites = 0; ///< device touches on writes.
+    std::uint64_t corrected = 0;
+    std::uint64_t dues = 0;
+};
+
+/**
+ * The functional memory.
+ */
+class ArccMemory
+{
+  public:
+    explicit ArccMemory(const FunctionalConfig &config);
+
+    // ----- normal data path -------------------------------------------
+    /** Write one 64B line (read-modify-write inside upgraded groups). */
+    void write(std::uint64_t addr, std::span<const std::uint8_t> data);
+
+    /** Read one 64B line through the page's current code. */
+    ReadResult read(std::uint64_t addr);
+
+    /**
+     * Read the full ECC group containing addr (64B for a relaxed page,
+     * 128B upgraded, 256B level-2).  The scrubber works at this
+     * granularity.
+     */
+    ReadResult readWholeGroup(std::uint64_t addr);
+
+    /**
+     * Encode and store a full group's data directly (no internal
+     * read-modify-write).  data.size() must equal the group size of
+     * the page's current mode.
+     */
+    void writeGroup(std::uint64_t addr,
+                    std::span<const std::uint8_t> data);
+
+    // ----- fault injection --------------------------------------------
+    void injectFault(const FunctionalFault &fault);
+    const std::vector<FunctionalFault> &faults() const { return faults_; }
+    void clearFaults() { faults_.clear(); }
+
+    // ----- page-mode management (Section 4.2.1) -----------------------
+    PageTable &pageTable() { return pageTable_; }
+    const PageTable &pageTable() const { return pageTable_; }
+
+    /** Page index of an address. */
+    std::uint64_t pageOf(std::uint64_t addr) const
+    {
+        return addr / kPageBytes;
+    }
+
+    /**
+     * Change a page's chipkill strength, re-encoding every line in the
+     * page (and only in the page).  Errors found along the way are
+     * corrected by the old code where possible.
+     */
+    void setPageMode(std::uint64_t page, PageMode mode);
+
+    // ----- raw hooks for the scrubber (Section 4.2.2) -----------------
+    /** Fill the line's slices (mode granularity) with a test byte. */
+    void rawFill(std::uint64_t addr, std::uint8_t value);
+    /** @return true when every slice byte reads back as `value`. */
+    bool rawCheck(std::uint64_t addr, std::uint8_t value);
+    /** Snapshot the raw slices of the line's group. */
+    std::vector<std::uint8_t> rawSnapshot(std::uint64_t addr);
+    /** Restore a snapshot taken by rawSnapshot. */
+    void rawRestore(std::uint64_t addr,
+                    std::span<const std::uint8_t> snapshot);
+
+    // ----- double-chip-sparing support --------------------------------
+    /** Mark a device of a rank as diagnosed-bad (erasure decode). */
+    void spareDevice(int channel, int rank, int device);
+    /** Diagnosed devices of a rank. */
+    const std::vector<int> &sparedDevices(int channel, int rank) const;
+
+    // ----- introspection ----------------------------------------------
+    const FunctionalConfig &config() const { return config_; }
+    const MemoryStats &stats() const { return stats_; }
+    std::uint64_t capacity() const { return config_.capacity(); }
+
+    /** Group span (bytes) a page mode reads per access. */
+    std::uint64_t groupBytes(PageMode mode) const;
+
+  private:
+    struct Loc
+    {
+        int channel, rank, bank, col;
+        std::uint32_t row;
+    };
+
+    Loc locOf(std::uint64_t addr) const;
+    std::size_t slotOffset(const Loc &loc) const;
+    std::uint8_t *slicePtr(int channel, int rank, int device,
+                           const Loc &loc);
+
+    /** Codec serving a page mode. */
+    const LineCodec &codecFor(PageMode mode) const;
+    /** Number of 64B sub-lines per group in a mode. */
+    int subLines(PageMode mode) const;
+
+    /** Gather (overlay-applied) slices for the group holding addr. */
+    DeviceSlices gatherGroup(std::uint64_t group_base, PageMode mode);
+    /** Store encoded slices for the group holding addr. */
+    void storeGroup(std::uint64_t group_base, PageMode mode,
+                    const DeviceSlices &slices);
+    /** Erased-device indices in codec ordering for a group. */
+    std::vector<int> erasedFor(std::uint64_t group_base,
+                               PageMode mode) const;
+
+    /** Apply fault overlays to a slice just read. */
+    void applyOverlay(std::span<std::uint8_t> bytes, int channel,
+                      int rank, int device, const Loc &loc) const;
+
+    /** Read a full group, decoding; helper for read / RMW / convert. */
+    ReadResult readGroup(std::uint64_t group_base, PageMode mode);
+
+    FunctionalConfig config_;
+    std::unique_ptr<LineCodec> relaxedCodec_;
+    std::unique_ptr<LineCodec> upgradedCodec_;
+    std::unique_ptr<LineCodec> upgraded2Codec_;
+    int slotBytes_;
+
+    /** storage_[(channel * ranks + rank) * devices + device]. */
+    std::vector<std::vector<std::uint8_t>> storage_;
+    std::vector<FunctionalFault> faults_;
+    /** sparedDevices_[channel * ranks + rank]. */
+    std::vector<std::vector<int>> spared_;
+
+    PageTable pageTable_;
+    MemoryStats stats_;
+};
+
+} // namespace arcc
+
+#endif // ARCC_ARCC_ARCC_MEMORY_HH

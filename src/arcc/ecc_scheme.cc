@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Line codec implementations.
+ */
+
+#include "arcc/ecc_scheme.hh"
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+// ---------------------------------------------------------------------
+// RsLineCodec
+// ---------------------------------------------------------------------
+
+RsLineCodec::RsLineCodec(int n, int k, int data_bytes, int max_correct,
+                         const char *name)
+    : rs_(n, k),
+      codewords_(data_bytes / k),
+      dataBytes_(data_bytes),
+      maxCorrect_(max_correct),
+      name_(name)
+{
+    if (data_bytes % k != 0)
+        fatal("RsLineCodec: %dB line not divisible into RS(%d,%d)",
+              data_bytes, n, k);
+}
+
+DeviceSlices
+RsLineCodec::encode(std::span<const std::uint8_t> data) const
+{
+    ARCC_ASSERT(data.size() == static_cast<std::size_t>(dataBytes_));
+    const int n = rs_.n();
+    const int k = rs_.k();
+    DeviceSlices slices(n, std::vector<std::uint8_t>(codewords_, 0));
+
+    std::vector<std::uint8_t> word(n);
+    for (int c = 0; c < codewords_; ++c) {
+        for (int s = 0; s < k; ++s)
+            word[s] = data[c * k + s];
+        rs_.encode(word);
+        for (int d = 0; d < n; ++d)
+            slices[d][c] = word[d];
+    }
+    return slices;
+}
+
+DecodeResult
+RsLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
+                    std::span<const int> erased) const
+{
+    ARCC_ASSERT(slices.size() == static_cast<std::size_t>(rs_.n()));
+    ARCC_ASSERT(data.size() == static_cast<std::size_t>(dataBytes_));
+    const int n = rs_.n();
+    const int k = rs_.k();
+
+    DecodeResult agg;
+    std::vector<std::uint8_t> word(n);
+    for (int c = 0; c < codewords_; ++c) {
+        for (int d = 0; d < n; ++d)
+            word[d] = slices[d][c];
+        DecodeResult res = rs_.decode(word, maxCorrect_, erased);
+        if (res.status == DecodeStatus::Detected) {
+            agg.status = DecodeStatus::Detected;
+            continue;
+        }
+        if (res.status == DecodeStatus::Corrected) {
+            if (agg.status != DecodeStatus::Detected)
+                agg.status = DecodeStatus::Corrected;
+            agg.symbolsCorrected += res.symbolsCorrected;
+            for (int p : res.positions) {
+                agg.positions.push_back(p);
+                slices[p][c] = word[p]; // write the fix back.
+            }
+        }
+        for (int s = 0; s < k; ++s)
+            data[c * k + s] = word[s];
+    }
+    return agg;
+}
+
+// ---------------------------------------------------------------------
+// LotLineCodec
+// ---------------------------------------------------------------------
+
+LotLineCodec::LotLineCodec(int data_devices, int line_bytes)
+    : lot_(data_devices, line_bytes), dataBytes_(line_bytes)
+{
+}
+
+DeviceSlices
+LotLineCodec::encode(std::span<const std::uint8_t> data) const
+{
+    LotLine line = lot_.encode(data);
+    const int dev = devices();
+    DeviceSlices slices(dev);
+    for (int d = 0; d < dev; ++d) {
+        slices[d] = line.slices[d];
+        slices[d].push_back(
+            static_cast<std::uint8_t>(line.checksums[d] >> 8));
+        slices[d].push_back(
+            static_cast<std::uint8_t>(line.checksums[d] & 0xff));
+    }
+    return slices;
+}
+
+DecodeResult
+LotLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
+                     std::span<const int> erased) const
+{
+    ARCC_ASSERT(slices.size() == static_cast<std::size_t>(devices()));
+
+    LotLine line;
+    line.slices.resize(devices());
+    line.checksums.resize(devices());
+    for (int d = 0; d < devices(); ++d) {
+        ARCC_ASSERT(slices[d].size() ==
+                    static_cast<std::size_t>(sliceBytes()));
+        line.slices[d].assign(slices[d].begin(), slices[d].end() - 2);
+        line.checksums[d] = static_cast<std::uint16_t>(
+            (slices[d][slices[d].size() - 2] << 8) |
+            slices[d][slices[d].size() - 1]);
+    }
+    // A device flagged as erased (remapped to the spare by the memory
+    // model) is treated as a forced checksum mismatch so the XOR tier
+    // reconstructs it.
+    for (int d : erased)
+        line.checksums[d] = static_cast<std::uint16_t>(
+            ~OnesComplement16::compute(line.slices[d]));
+
+    LotDecodeResult lres = lot_.decode(line);
+    DecodeResult res;
+    if (lres.status == DecodeStatus::Detected) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+    if (lres.status == DecodeStatus::Corrected) {
+        res.status = DecodeStatus::Corrected;
+        res.symbolsCorrected = 1;
+        res.positions.push_back(lres.deviceCorrected);
+        int d = lres.deviceCorrected;
+        for (std::size_t i = 0; i < line.slices[d].size(); ++i)
+            slices[d][i] = line.slices[d][i];
+        slices[d][slices[d].size() - 2] =
+            static_cast<std::uint8_t>(line.checksums[d] >> 8);
+        slices[d][slices[d].size() - 1] =
+            static_cast<std::uint8_t>(line.checksums[d] & 0xff);
+    }
+    auto bytes = lot_.extract(line);
+    ARCC_ASSERT(bytes.size() == data.size());
+    std::copy(bytes.begin(), bytes.end(), data.begin());
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+namespace schemes
+{
+
+std::unique_ptr<LineCodec>
+commercialSccdcd()
+{
+    return std::make_unique<RsLineCodec>(36, 32, 64, 1,
+                                         "SCCDCD RS(36,32)");
+}
+
+std::unique_ptr<LineCodec>
+doubleChipSparing()
+{
+    return std::make_unique<RsLineCodec>(36, 32, 64, 2,
+                                         "DCS RS(36,32)+spare");
+}
+
+std::unique_ptr<LineCodec>
+arccRelaxed()
+{
+    return std::make_unique<RsLineCodec>(18, 16, 64, 1,
+                                         "ARCC relaxed RS(18,16)");
+}
+
+std::unique_ptr<LineCodec>
+arccUpgraded()
+{
+    return std::make_unique<RsLineCodec>(36, 32, 128, 1,
+                                         "ARCC upgraded RS(36,32)");
+}
+
+std::unique_ptr<LineCodec>
+arccUpgraded2()
+{
+    return std::make_unique<RsLineCodec>(72, 64, 256, 1,
+                                         "ARCC upgraded-2 RS(72,64)");
+}
+
+std::unique_ptr<LineCodec>
+lotEcc9()
+{
+    return std::make_unique<LotLineCodec>(8);
+}
+
+std::unique_ptr<LineCodec>
+lotEcc18()
+{
+    // Two nine-device channels in lockstep: a 128B paired line.
+    return std::make_unique<LotLineCodec>(16, 128);
+}
+
+} // namespace schemes
+
+} // namespace arcc

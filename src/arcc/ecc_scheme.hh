@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Line-level ECC scheme codecs: the mapping between a cache line's data
+ * bytes and the per-device symbol slices stored in DRAM.
+ *
+ * Figure 2.1's layout rule is honoured by construction: every symbol of
+ * a codeword is stored in a different device, so a whole-device failure
+ * costs at most one symbol per codeword.
+ *
+ * Instances used by the library (symbols are 8-bit, Chapter 4.1's
+ * "each symbol maintains its original size" layout):
+ *
+ *  | scheme                | code        | cw/line | devices | slice |
+ *  |-----------------------|-------------|---------|---------|-------|
+ *  | commercial SCCDCD     | RS(36,32)   | 2 / 64B | 36      | 2B    |
+ *  | double chip sparing   | RS(36,32)+spare remap (maxCorrect 2)    |
+ *  | ARCC relaxed          | RS(18,16)   | 4 / 64B | 18      | 4B    |
+ *  | ARCC upgraded         | RS(36,32)   | 4 /128B | 36      | 4B    |
+ *  | ARCC 2nd-level (5.1)  | RS(72,64)   | 4 /256B | 72      | 4B    |
+ *  | LOT-ECC 9-device      | checksum+XOR| - / 64B | 9       | 8B+2B |
+ *  | LOT-ECC 18-device     | checksum+XOR+spare    | 18      | 4B+2B |
+ */
+
+#ifndef ARCC_ARCC_ECC_SCHEME_HH
+#define ARCC_ARCC_ECC_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ecc/lot_ecc.hh"
+#include "ecc/reed_solomon.hh"
+
+namespace arcc
+{
+
+/** Per-device slices of one encoded line. */
+using DeviceSlices = std::vector<std::vector<std::uint8_t>>;
+
+/**
+ * Abstract line codec: data line <-> per-device slices.
+ */
+class LineCodec
+{
+  public:
+    virtual ~LineCodec() = default;
+
+    /** Devices the line is striped over (n). */
+    virtual int devices() const = 0;
+    /** Bytes stored per device for one line. */
+    virtual int sliceBytes() const = 0;
+    /** Data payload per line (64, 128 or 256). */
+    virtual int dataBytes() const = 0;
+
+    /** Encode data into per-device slices. */
+    virtual DeviceSlices encode(
+        std::span<const std::uint8_t> data) const = 0;
+
+    /**
+     * Decode slices into data, correcting in place.
+     * @param erased device indices known bad (chip sparing).
+     */
+    virtual DecodeResult decode(
+        DeviceSlices &slices, std::span<std::uint8_t> data,
+        std::span<const int> erased = {}) const = 0;
+
+    /** Human-readable description. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Reed-Solomon line codec: dataBytes/k codewords of RS(n, k); device d
+ * stores symbol d of every codeword.
+ */
+class RsLineCodec : public LineCodec
+{
+  public:
+    /**
+     * @param n           devices / symbols per codeword.
+     * @param k           data symbols per codeword.
+     * @param data_bytes  line payload; must be a multiple of k.
+     * @param max_correct per-codeword error-correction cap (SCCDCD
+     *                    corrects 1; double chip sparing 2).
+     * @param name        display name.
+     */
+    RsLineCodec(int n, int k, int data_bytes, int max_correct,
+                const char *name);
+
+    int devices() const override { return rs_.n(); }
+    int sliceBytes() const override { return codewords_; }
+    int dataBytes() const override { return dataBytes_; }
+
+    DeviceSlices encode(std::span<const std::uint8_t> data) const
+        override;
+    DecodeResult decode(DeviceSlices &slices,
+                        std::span<std::uint8_t> data,
+                        std::span<const int> erased = {}) const override;
+    const char *name() const override { return name_; }
+
+    int maxCorrect() const { return maxCorrect_; }
+
+  private:
+    ReedSolomon rs_;
+    int codewords_;
+    int dataBytes_;
+    int maxCorrect_;
+    const char *name_;
+};
+
+/**
+ * LOT-ECC line codec: per-device data slice + embedded ones'-complement
+ * checksum, plus an XOR parity device.  The 16-data-device variant is
+ * the 18-device double-chip-sparing extension of Chapter 5.2 (the
+ * spare device is managed by the memory model, not the codec).
+ */
+class LotLineCodec : public LineCodec
+{
+  public:
+    /**
+     * @param data_devices 8 (nine-device rank) or 16 (the 18-device
+     *                     upgraded mode of Chapter 5.2).
+     * @param line_bytes   64 for the nine-device line; 128 for the
+     *                     upgraded line, which pairs two adjacent 64B
+     *                     lines across two lockstep channels exactly
+     *                     like ARCC over commercial chipkill does.
+     */
+    explicit LotLineCodec(int data_devices, int line_bytes = 64);
+
+    int devices() const override { return lot_.dataDevices() + 1; }
+    int
+    sliceBytes() const override
+    {
+        return lot_.sliceBytes() + 2; // slice + embedded checksum.
+    }
+    int dataBytes() const override { return dataBytes_; }
+
+    DeviceSlices encode(std::span<const std::uint8_t> data) const
+        override;
+    DecodeResult decode(DeviceSlices &slices,
+                        std::span<std::uint8_t> data,
+                        std::span<const int> erased = {}) const override;
+    const char *
+    name() const override
+    {
+        return lot_.dataDevices() == 8 ? "LOT-ECC-9" : "LOT-ECC-18";
+    }
+
+  private:
+    LotEcc lot_;
+    int dataBytes_;
+};
+
+/** Factory helpers for the paper's schemes. */
+namespace schemes
+{
+
+/** Commercial SCCDCD: RS(36,32) x2 per 64B line, correct 1 detect 2. */
+std::unique_ptr<LineCodec> commercialSccdcd();
+
+/** Double chip sparing decode (correct up to 2 with spare support). */
+std::unique_ptr<LineCodec> doubleChipSparing();
+
+/** ARCC relaxed: RS(18,16) x4 per 64B line. */
+std::unique_ptr<LineCodec> arccRelaxed();
+
+/** ARCC upgraded: RS(36,32) x4 per 128B line. */
+std::unique_ptr<LineCodec> arccUpgraded();
+
+/** ARCC second-level upgrade (Ch 5.1): RS(72,64) x4 per 256B line. */
+std::unique_ptr<LineCodec> arccUpgraded2();
+
+/** LOT-ECC nine-device. */
+std::unique_ptr<LineCodec> lotEcc9();
+
+/** LOT-ECC 18-device (Ch 5.2). */
+std::unique_ptr<LineCodec> lotEcc18();
+
+} // namespace schemes
+
+} // namespace arcc
+
+#endif // ARCC_ARCC_ECC_SCHEME_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Page table implementation.
+ */
+
+#include "arcc/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+const char *
+toString(PageMode m)
+{
+    switch (m) {
+      case PageMode::Relaxed:   return "relaxed";
+      case PageMode::Upgraded:  return "upgraded";
+      case PageMode::Upgraded2: return "upgraded-2";
+    }
+    return "?";
+}
+
+PageTable::PageTable(std::uint64_t pages, PageMode initial)
+    : modes_(pages, initial)
+{
+    counts_[static_cast<int>(initial)] = pages;
+}
+
+void
+PageTable::setMode(std::uint64_t page, PageMode mode)
+{
+    ARCC_ASSERT(page < modes_.size());
+    PageMode old = modes_[page];
+    if (old == mode)
+        return;
+    if (static_cast<int>(mode) > static_cast<int>(old))
+        ++upgrades_;
+    else
+        ++downgrades_;
+    --counts_[static_cast<int>(old)];
+    ++counts_[static_cast<int>(mode)];
+    modes_[page] = mode;
+}
+
+std::uint64_t
+PageTable::count(PageMode m) const
+{
+    return counts_[static_cast<int>(m)];
+}
+
+double
+PageTable::upgradedFraction() const
+{
+    if (modes_.empty())
+        return 0.0;
+    return static_cast<double>(counts_[1] + counts_[2]) /
+           static_cast<double>(modes_.size());
+}
+
+} // namespace arcc

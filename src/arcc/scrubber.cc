@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scrubber implementation.
+ */
+
+#include "arcc/scrubber.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+ScrubReport
+Scrubber::scrub(ArccMemory &memory) const
+{
+    ScrubReport report;
+    const std::uint64_t pages = memory.pageTable().pages();
+
+    std::vector<bool> faulty(pages, false);
+
+    for (std::uint64_t page = 0; page < pages; ++page) {
+        PageMode mode = memory.pageTable().mode(page);
+        std::uint64_t group = memory.groupBytes(mode);
+        std::uint64_t base = page * kPageBytes;
+
+        for (std::uint64_t off = 0; off < kPageBytes; off += group) {
+            std::uint64_t addr = base + off;
+            ++report.linesScrubbed;
+
+            // Step 1: read and set the corrected value aside.  Keep a
+            // raw snapshot too: if the line is uncorrectable we must
+            // put the original bits back rather than garbage.
+            std::vector<std::uint8_t> raw = memory.rawSnapshot(addr);
+            ReadResult r = memory.readWholeGroup(addr);
+            bool page_bad = false;
+            if (r.status == DecodeStatus::Corrected) {
+                report.errorsCorrected += r.symbolsCorrected;
+                page_bad = true;
+            } else if (r.status == DecodeStatus::Detected) {
+                ++report.duesFound;
+                page_bad = true;
+            }
+
+            if (config_.testPatterns) {
+                // Step 2: all-0 pattern; surviving 1s = stuck-at-1.
+                memory.rawFill(addr, 0x00);
+                if (!memory.rawCheck(addr, 0x00)) {
+                    ++report.stuckAt1Found;
+                    page_bad = true;
+                }
+                // Step 3: all-1 pattern; surviving 0s = stuck-at-0.
+                memory.rawFill(addr, 0xff);
+                if (!memory.rawCheck(addr, 0xff)) {
+                    ++report.stuckAt0Found;
+                    page_bad = true;
+                }
+            }
+
+            // Step 4: restore.  Corrected content is re-encoded (that
+            // also heals soft errors); uncorrectable lines get their
+            // original raw bits back so no information is destroyed.
+            if (r.status == DecodeStatus::Detected)
+                memory.rawRestore(addr, raw);
+            else
+                memory.writeGroup(addr, r.data);
+
+            if (page_bad)
+                faulty[page] = true;
+        }
+    }
+
+    // End of scrub: apply the page-mode transitions.
+    for (std::uint64_t page = 0; page < pages; ++page) {
+        PageMode mode = memory.pageTable().mode(page);
+        if (faulty[page]) {
+            report.faultyPages.push_back(page);
+            if (mode == PageMode::Relaxed) {
+                memory.setPageMode(page, PageMode::Upgraded);
+                ++report.pagesUpgraded;
+            } else if (mode == PageMode::Upgraded &&
+                       config_.allowLevel2 &&
+                       memory.config().allowLevel2) {
+                memory.setPageMode(page, PageMode::Upgraded2);
+                ++report.pagesUpgraded;
+            }
+        } else if (config_.relaxCleanPages &&
+                   mode != PageMode::Relaxed) {
+            memory.setPageMode(page, PageMode::Relaxed);
+            ++report.pagesRelaxed;
+        }
+    }
+    return report;
+}
+
+ScrubReport
+Scrubber::bootScrub(ArccMemory &memory) const
+{
+    ScrubberConfig boot = config_;
+    boot.relaxCleanPages = true;
+    return Scrubber(boot).scrub(memory);
+}
+
+double
+Scrubber::scrubSeconds(double bytes, double bus_bytes_per_sec)
+{
+    // Three reads + three writes of the full contents (Section 4.2.2).
+    return 6.0 * bytes / bus_bytes_per_sec;
+}
+
+double
+Scrubber::bandwidthFraction(double scrub_seconds, double period_hours)
+{
+    return scrub_seconds / (period_hours * 3600.0);
+}
+
+} // namespace arcc

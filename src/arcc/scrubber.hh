@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The ARCC test-pattern memory scrubber (Section 4.2.2).
+ *
+ * A conventional scrubber only reads and writes back, which leaves
+ * hidden stuck-at faults undetected in locations whose current data
+ * happens to match the stuck value.  The paper's scrubber therefore
+ * runs, per line:
+ *
+ *   1. read the line and set its (corrected) value aside;
+ *   2. write all 0s, read back -- any 1 bit implies stuck-at-1;
+ *   3. write all 1s, read back -- any 0 bit implies stuck-at-0;
+ *   4. write the corrected original content back.
+ *
+ * Pages in which any step detects an error are upgraded at the end of
+ * the scrub (relaxed -> upgraded; already-upgraded pages escalate to
+ * the Chapter 5.1 second level when the memory allows it).  The
+ * scrubber can also *relax* fault-free pages, which is how the paper
+ * boots: all pages start upgraded, the first scrub demotes the clean
+ * ones.
+ */
+
+#ifndef ARCC_ARCC_SCRUBBER_HH
+#define ARCC_ARCC_SCRUBBER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arcc/arcc_memory.hh"
+
+namespace arcc
+{
+
+/** What a scrub pass found and did. */
+struct ScrubReport
+{
+    std::uint64_t linesScrubbed = 0;
+    std::uint64_t errorsCorrected = 0;
+    std::uint64_t duesFound = 0;
+    std::uint64_t stuckAt1Found = 0;
+    std::uint64_t stuckAt0Found = 0;
+    /** Pages any step flagged. */
+    std::vector<std::uint64_t> faultyPages;
+    std::uint64_t pagesUpgraded = 0;
+    std::uint64_t pagesRelaxed = 0;
+};
+
+/** Scrubber policy knobs. */
+struct ScrubberConfig
+{
+    /** Run the write-0 / write-1 test patterns (steps 2-3). */
+    bool testPatterns = true;
+    /** Demote fault-free pages to relaxed (boot-time behaviour). */
+    bool relaxCleanPages = false;
+    /** Escalate already-upgraded faulty pages to level 2 if possible. */
+    bool allowLevel2 = true;
+};
+
+/**
+ * Scrubs an ArccMemory and applies the page-mode transitions.
+ */
+class Scrubber
+{
+  public:
+    explicit Scrubber(ScrubberConfig config = {}) : config_(config) {}
+
+    /** Scrub the whole memory. */
+    ScrubReport scrub(ArccMemory &memory) const;
+
+    /**
+     * The paper's boot sequence: everything is already upgraded, so
+     * scrub once with relaxCleanPages on.
+     */
+    ScrubReport bootScrub(ArccMemory &memory) const;
+
+    /**
+     * Closed-form overhead model of Section 4.2.2: scrub duration for
+     * a channel of `bytes` at `bus_bytes_per_sec`, and the fraction of
+     * bandwidth consumed at one scrub per `period_hours`.  The factor
+     * 6 covers the three read passes and three write passes.
+     */
+    static double scrubSeconds(double bytes, double bus_bytes_per_sec);
+    static double bandwidthFraction(double scrub_seconds,
+                                    double period_hours);
+
+  private:
+    ScrubberConfig config_;
+};
+
+} // namespace arcc
+
+#endif // ARCC_ARCC_SCRUBBER_HH

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * LLC model implementations.
+ */
+
+#include "cache/llc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Sibling 64B line of addr within its 128B pair. */
+std::uint64_t
+pairSibling(std::uint64_t line_addr)
+{
+    return line_addr ^ kLineBytes;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// PairedTagLlc
+// ---------------------------------------------------------------------
+
+PairedTagLlc::PairedTagLlc(const CacheConfig &config)
+    : BaseLlc(config)
+{
+    sets_ = config.sizeBytes /
+            (static_cast<std::uint64_t>(config.assoc) * config.lineBytes);
+    ARCC_ASSERT(sets_ > 1 && (sets_ & (sets_ - 1)) == 0);
+    lines_.assign(sets_ * config.assoc, Line{});
+}
+
+std::uint64_t
+PairedTagLlc::setOf(std::uint64_t line_addr) const
+{
+    return (line_addr / kLineBytes) & (sets_ - 1);
+}
+
+PairedTagLlc::Line *
+PairedTagLlc::find(std::uint64_t line_addr)
+{
+    std::uint64_t set = setOf(line_addr);
+    Line *base = &lines_[set * config_.assoc];
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+int
+PairedTagLlc::victimWay(std::uint64_t set) const
+{
+    const Line *base = &lines_[set * config_.assoc];
+    int victim = 0;
+    std::uint64_t best = ~0ULL;
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid)
+            return w;
+        // The recency of an upgraded line is kept synchronised with its
+        // sibling on every touch, so lastUse already reflects the most
+        // recently used sub-line (Section 4.2.3).
+        if (base[w].lastUse < best) {
+            best = base[w].lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+PairedTagLlc::dropLine(std::uint64_t line_addr, LlcOutcome &out,
+                       bool emit_writeback)
+{
+    Line *l = find(line_addr);
+    if (!l)
+        return;
+    if (emit_writeback && l->dirty) {
+        Writeback wb;
+        wb.addr = l->upgraded ? (line_addr & ~(kUpgradedLineBytes - 1))
+                              : line_addr;
+        wb.paired = l->upgraded;
+        out.writebacks.push_back(wb);
+        if (l->upgraded)
+            ++stats_.pairedWritebacks;
+    }
+    l->valid = false;
+    ++stats_.evictions;
+}
+
+void
+PairedTagLlc::fill(std::uint64_t line_addr, bool dirty, bool upgraded,
+                   LlcOutcome &out)
+{
+    std::uint64_t set = setOf(line_addr);
+    int way = victimWay(set);
+    Line &slot = lines_[set * config_.assoc + way];
+    if (slot.valid) {
+        out.replaced = true;
+        ++stats_.evictions;
+        if (slot.dirty) {
+            Writeback wb;
+            wb.addr = slot.upgraded
+                          ? (slot.lineAddr & ~(kUpgradedLineBytes - 1))
+                          : slot.lineAddr;
+            wb.paired = slot.upgraded;
+            out.writebacks.push_back(wb);
+            if (slot.upgraded)
+                ++stats_.pairedWritebacks;
+        }
+        if (slot.upgraded) {
+            // Both sub-lines leave together; the sibling was already
+            // covered by the paired writeback above.
+            std::uint64_t sib = pairSibling(slot.lineAddr);
+            slot.valid = false;
+            dropLine(sib, out, /*emit_writeback=*/false);
+        }
+    }
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.upgraded = upgraded;
+    slot.lineAddr = line_addr;
+    slot.lastUse = clock_;
+}
+
+LlcOutcome
+PairedTagLlc::access(std::uint64_t addr, bool is_write, bool upgraded)
+{
+    LlcOutcome out;
+    ++clock_;
+    std::uint64_t line_addr = addr & ~(kLineBytes - 1);
+
+    Line *l = find(line_addr);
+    if (l) {
+        out.hit = true;
+        ++stats_.hits;
+        l->lastUse = clock_;
+        if (is_write)
+            l->dirty = true;
+        if (l->upgraded) {
+            // Keep the sibling's recency in sync (coupled recency).
+            Line *sib = find(pairSibling(line_addr));
+            if (sib)
+                sib->lastUse = clock_;
+        }
+        return out;
+    }
+
+    ++stats_.misses;
+    fill(line_addr, is_write, upgraded, out);
+    if (upgraded) {
+        // The 128B fetch brings the sibling too.
+        std::uint64_t sib = pairSibling(line_addr);
+        if (!find(sib))
+            fill(sib, /*dirty=*/false, /*upgraded=*/true, out);
+        else
+            find(sib)->upgraded = true;
+        ++stats_.pairedFills;
+    }
+    return out;
+}
+
+void
+PairedTagLlc::flush()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    clock_ = 0;
+}
+
+bool
+PairedTagLlc::checkInvariants() const
+{
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        for (int w = 0; w < config_.assoc; ++w) {
+            const Line &l = lines_[set * config_.assoc + w];
+            if (!l.valid)
+                continue;
+            // Tag maps back to its set.
+            if (setOf(l.lineAddr) != set)
+                return false;
+            if (!l.upgraded)
+                continue;
+            // Upgraded invariant: the sibling is resident in the
+            // adjacent set, flagged, and recency-coupled.
+            std::uint64_t sib = l.lineAddr ^ kLineBytes;
+            std::uint64_t sset = setOf(sib);
+            bool found = false;
+            for (int v = 0; v < config_.assoc; ++v) {
+                const Line &cand = lines_[sset * config_.assoc + v];
+                if (cand.valid && cand.lineAddr == sib) {
+                    if (!cand.upgraded)
+                        return false;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// SectoredLlc
+// ---------------------------------------------------------------------
+
+SectoredLlc::SectoredLlc(const CacheConfig &config)
+    : BaseLlc(config)
+{
+    sets_ = config.sizeBytes / (static_cast<std::uint64_t>(config.assoc) *
+                                kUpgradedLineBytes);
+    ARCC_ASSERT(sets_ > 1 && (sets_ & (sets_ - 1)) == 0);
+    frames_.assign(sets_ * config.assoc, Frame{});
+}
+
+std::uint64_t
+SectoredLlc::setOf(std::uint64_t frame_addr) const
+{
+    return (frame_addr / kUpgradedLineBytes) & (sets_ - 1);
+}
+
+SectoredLlc::Frame *
+SectoredLlc::find(std::uint64_t frame_addr)
+{
+    std::uint64_t set = setOf(frame_addr);
+    Frame *base = &frames_[set * config_.assoc];
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].frameAddr == frame_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+int
+SectoredLlc::victimWay(std::uint64_t set) const
+{
+    const Frame *base = &frames_[set * config_.assoc];
+    int victim = 0;
+    std::uint64_t best = ~0ULL;
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid)
+            return w;
+        if (base[w].lastUse < best) {
+            best = base[w].lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+SectoredLlc::evictFrame(Frame &f, LlcOutcome &out)
+{
+    if (f.upgraded && (f.subDirty[0] || f.subDirty[1])) {
+        Writeback wb;
+        wb.addr = f.frameAddr;
+        wb.paired = true;
+        out.writebacks.push_back(wb);
+        ++stats_.pairedWritebacks;
+    } else {
+        for (int s = 0; s < 2; ++s) {
+            if (f.subValid[s] && f.subDirty[s]) {
+                Writeback wb;
+                wb.addr = f.frameAddr + s * kLineBytes;
+                wb.paired = false;
+                out.writebacks.push_back(wb);
+            }
+        }
+    }
+    f.valid = false;
+    ++stats_.evictions;
+}
+
+LlcOutcome
+SectoredLlc::access(std::uint64_t addr, bool is_write, bool upgraded)
+{
+    LlcOutcome out;
+    ++clock_;
+    std::uint64_t line_addr = addr & ~(kLineBytes - 1);
+    std::uint64_t frame_addr = addr & ~(kUpgradedLineBytes - 1);
+    int sub = static_cast<int>((line_addr - frame_addr) / kLineBytes);
+
+    Frame *f = find(frame_addr);
+    if (f && f->subValid[sub]) {
+        out.hit = true;
+        ++stats_.hits;
+        f->lastUse = clock_;
+        if (is_write)
+            f->subDirty[sub] = true;
+        return out;
+    }
+
+    ++stats_.misses;
+    if (!f) {
+        std::uint64_t set = setOf(frame_addr);
+        int way = victimWay(set);
+        Frame &slot = frames_[set * config_.assoc + way];
+        if (slot.valid) {
+            out.replaced = true;
+            evictFrame(slot, out);
+        }
+        slot.valid = true;
+        slot.upgraded = false;
+        slot.subValid[0] = slot.subValid[1] = false;
+        slot.subDirty[0] = slot.subDirty[1] = false;
+        slot.frameAddr = frame_addr;
+        f = &slot;
+    }
+    f->lastUse = clock_;
+    f->subValid[sub] = true;
+    f->subDirty[sub] = f->subDirty[sub] || is_write;
+    if (upgraded) {
+        f->upgraded = true;
+        f->subValid[0] = f->subValid[1] = true;
+        ++stats_.pairedFills;
+    }
+    return out;
+}
+
+void
+SectoredLlc::flush()
+{
+    for (auto &f : frames_)
+        f = Frame{};
+    clock_ = 0;
+}
+
+bool
+SectoredLlc::checkInvariants() const
+{
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        for (int w = 0; w < config_.assoc; ++w) {
+            const Frame &f = frames_[set * config_.assoc + w];
+            if (!f.valid)
+                continue;
+            if (setOf(f.frameAddr) != set)
+                return false;
+            if (f.frameAddr % kUpgradedLineBytes != 0)
+                return false;
+            // An upgraded frame always holds both sub-sectors.
+            if (f.upgraded && (!f.subValid[0] || !f.subValid[1]))
+                return false;
+            // A dirty sub-sector must be valid.
+            for (int sx = 0; sx < 2; ++sx)
+                if (f.subDirty[sx] && !f.subValid[sx])
+                    return false;
+        }
+    }
+    return true;
+}
+
+} // namespace arcc

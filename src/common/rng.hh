@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulators.
+ *
+ * All stochastic components of the library (workload generators, fault
+ * injection, Monte Carlo engines) draw from an explicitly seeded Rng so
+ * every experiment is reproducible from its seed.  The core generator is
+ * xoshiro256** which is fast, tiny, and of more than adequate quality
+ * for simulation use.
+ */
+
+#ifndef ARCC_COMMON_RNG_HH
+#define ARCC_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace arcc
+{
+
+/**
+ * xoshiro256** pseudo-random generator with simulation-oriented helper
+ * distributions.  Not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the state from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread the seed across the 256-bit state.
+        std::uint64_t x = seed;
+        for (int i = 0; i < 4; ++i) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            state_[i] = z ^ (z >> 31);
+        }
+        // A zero state would be absorbing; splitmix64 never produces
+        // four zero outputs, but guard anyway.
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+            state_[0] = 1;
+    }
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound) using Lemire reduction. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        // Multiply-shift; bias is < 2^-64 * bound, negligible here.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** @return exponential variate with the given rate (mean 1/rate). */
+    double
+    exponential(double rate)
+    {
+        // 1 - uniform() is in (0, 1]; log of it is finite.
+        return -std::log(1.0 - uniform()) / rate;
+    }
+
+    /** @return geometric-ish integer >= 1 with mean roughly `mean`. */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double u = 1.0 - uniform();
+        double p = 1.0 / mean;
+        double v = std::log(u) / std::log(1.0 - p);
+        std::uint64_t n = static_cast<std::uint64_t>(v) + 1;
+        return n == 0 ? 1 : n;
+    }
+
+    /** @return a Poisson variate (Knuth for small mean, normal approx). */
+    std::uint64_t
+    poisson(double mean)
+    {
+        if (mean <= 0)
+            return 0;
+        if (mean < 32.0) {
+            double limit = std::exp(-mean);
+            double prod = uniform();
+            std::uint64_t n = 0;
+            while (prod > limit) {
+                prod *= uniform();
+                ++n;
+            }
+            return n;
+        }
+        // Normal approximation with continuity correction.
+        double g = gaussian();
+        double v = mean + std::sqrt(mean) * g + 0.5;
+        return v < 0 ? 0 : static_cast<std::uint64_t>(v);
+    }
+
+    /** @return standard normal variate (Box-Muller, one of the pair). */
+    double
+    gaussian()
+    {
+        double u1 = 1.0 - uniform();
+        double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Fork an independent stream (e.g. one per simulated channel). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace arcc
+
+#endif // ARCC_COMMON_RNG_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Small statistics helpers shared by the simulators and benches.
+ */
+
+#ifndef ARCC_COMMON_STATS_HH
+#define ARCC_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace arcc
+{
+
+/**
+ * Online mean / variance accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** @return number of samples accumulated. */
+    std::uint64_t count() const { return n_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /** @return population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** @return smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const RunningStat &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        double total = static_cast<double>(n_ + other.n_);
+        double delta = other.mean_ - mean_;
+        double new_mean = mean_ + delta * other.n_ / total;
+        m2_ += other.m2_ +
+               delta * delta * n_ * other.n_ / total;
+        mean_ = new_mean;
+        n_ += other.n_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range land in
+ * the first / last bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+    }
+
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        double t = (x - lo_) / (hi_ - lo_);
+        std::int64_t idx =
+            static_cast<std::int64_t>(t * static_cast<double>(size()));
+        idx = std::clamp<std::int64_t>(
+            idx, 0, static_cast<std::int64_t>(size()) - 1);
+        ++counts_[static_cast<std::size_t>(idx)];
+        ++total_;
+    }
+
+    /** @return number of bins. */
+    std::size_t size() const { return counts_.size(); }
+
+    /** @return raw count of bin i. */
+    std::uint64_t count(std::size_t i) const { return counts_[i]; }
+
+    /** @return total samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return fraction of samples in bin i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_[i]) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /** @return left edge of bin i. */
+    double
+    edge(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(size());
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** @return arithmetic mean of a vector (0 when empty). */
+inline double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** @return geometric mean of a vector of positive values. */
+inline double
+geomeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace arcc
+
+#endif // ARCC_COMMON_STATS_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to render the
+ * rows/series of each reproduced paper table and figure.
+ */
+
+#ifndef ARCC_COMMON_TABLE_HH
+#define ARCC_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace arcc
+{
+
+/**
+ * A column-aligned ASCII table.  Cells are strings; numeric helpers
+ * format with a fixed precision.  The table renders to stdout so bench
+ * output can be diffed run to run.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Format a percentage (value 0.123 -> "12.3%"). */
+    static std::string
+    pct(double v, int precision = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+        return buf;
+    }
+
+    /** Format a scientific-notation value. */
+    static std::string
+    sci(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+        return buf;
+    }
+
+    /** Render the table to the given stream. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::size_t cols = header_.size();
+        for (const auto &r : rows_)
+            cols = std::max(cols, r.size());
+        std::vector<std::size_t> width(cols, 0);
+        auto measure = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < r.size(); ++i)
+                width[i] = std::max(width[i], r[i].size());
+        };
+        measure(header_);
+        for (const auto &r : rows_)
+            measure(r);
+
+        auto emit = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < cols; ++i) {
+                const std::string &cell = i < r.size() ? r[i] : empty_;
+                std::fprintf(out, "%-*s", static_cast<int>(width[i] + 2),
+                             cell.c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+
+        if (!header_.empty()) {
+            emit(header_);
+            std::size_t total = 0;
+            for (std::size_t w : width)
+                total += w + 2;
+            std::string rule(total, '-');
+            std::fprintf(out, "%s\n", rule.c_str());
+        }
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string empty_;
+};
+
+/** Print a section banner for bench output. */
+inline void
+printBanner(const std::string &title)
+{
+    std::printf("\n===== %s =====\n\n", title.c_str());
+}
+
+} // namespace arcc
+
+#endif // ARCC_COMMON_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical-unit constants and conversions used across the library.
+ */
+
+#ifndef ARCC_COMMON_UNITS_HH
+#define ARCC_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace arcc
+{
+
+/** Hours in one (average Gregorian) year, the unit field studies use. */
+constexpr double kHoursPerYear = 8766.0;
+
+/** One FIT is one failure per 1e9 device-hours. */
+constexpr double kFitToPerHour = 1e-9;
+
+/** Convert a FIT rate to failures per hour. */
+constexpr double
+fitToPerHour(double fit)
+{
+    return fit * kFitToPerHour;
+}
+
+/** Convert a FIT rate to failures per year. */
+constexpr double
+fitToPerYear(double fit)
+{
+    return fit * kFitToPerHour * kHoursPerYear;
+}
+
+/** Sizes. */
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** The paper's line / page geometry. */
+constexpr std::uint64_t kLineBytes = 64;
+constexpr std::uint64_t kUpgradedLineBytes = 128;
+constexpr std::uint64_t kPageBytes = 4 * kKiB;
+constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+} // namespace arcc
+
+#endif // ARCC_COMMON_UNITS_HH

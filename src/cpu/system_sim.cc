@@ -1,0 +1,270 @@
+/**
+ * @file
+ * System simulator implementation.
+ */
+
+#include "cpu/system_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace arcc
+{
+
+// ---------------------------------------------------------------------
+// PageUpgradeOracle
+// ---------------------------------------------------------------------
+
+PageUpgradeOracle
+PageUpgradeOracle::forScenario(Scenario s, const MemoryConfig &config)
+{
+    PageUpgradeOracle o;
+    o.scenario_ = s;
+    o.map_ = std::make_shared<AddressMap>(config, MapPolicy::HiPerf);
+    int ranks = config.ranksPerChannel;
+    int banks = config.device.banks;
+    switch (s) {
+      case Scenario::None:
+        o.expected_ = 0.0;
+        break;
+      case Scenario::Lane:
+        o.expected_ = 1.0;
+        break;
+      case Scenario::Device:
+        o.expected_ = 1.0 / ranks;
+        break;
+      case Scenario::Bank:
+        o.expected_ = 1.0 / (ranks * banks);
+        break;
+      case Scenario::Column:
+        o.expected_ = 1.0 / (2.0 * ranks * banks);
+        break;
+      case Scenario::Fraction:
+        fatal("use forFraction for the Fraction scenario");
+    }
+    return o;
+}
+
+PageUpgradeOracle
+PageUpgradeOracle::forFraction(double fraction, const MemoryConfig &config)
+{
+    PageUpgradeOracle o;
+    o.scenario_ = Scenario::Fraction;
+    o.fraction_ = fraction;
+    o.expected_ = fraction;
+    o.map_ = std::make_shared<AddressMap>(config, MapPolicy::HiPerf);
+    return o;
+}
+
+bool
+PageUpgradeOracle::upgraded(std::uint64_t addr) const
+{
+    switch (scenario_) {
+      case Scenario::None:
+        return false;
+      case Scenario::Lane:
+        return true;
+      case Scenario::Device: {
+        DramCoord c = map_->decode(addr % map_->capacity());
+        return c.rank == 0;
+      }
+      case Scenario::Bank: {
+        DramCoord c = map_->decode(addr % map_->capacity());
+        return c.rank == 0 && c.bank == 0;
+      }
+      case Scenario::Column: {
+        // A column fault touches one column of one bank; under the
+        // worst-case assumption every page whose half-row contains that
+        // column is upgraded (half the pages of the bank, Table 7.4).
+        DramCoord c = map_->decode(addr % map_->capacity());
+        return c.rank == 0 && c.bank == 0 &&
+               c.column < map_->linesPerRow() / 2;
+      }
+      case Scenario::Fraction: {
+        // Deterministic per-page hash (splitmix64 finaliser).
+        std::uint64_t page = addr / kPageBytes;
+        std::uint64_t z = page + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        return (z >> 11) * 0x1.0p-53 < fraction_;
+      }
+    }
+    return false;
+}
+
+const char *
+PageUpgradeOracle::name(Scenario s)
+{
+    switch (s) {
+      case Scenario::None:     return "no fault";
+      case Scenario::Lane:     return "1 lane fault";
+      case Scenario::Device:   return "1 device fault";
+      case Scenario::Bank:     return "1 subbank fault";
+      case Scenario::Column:   return "1 column fault";
+      case Scenario::Fraction: return "fraction";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// simulateStreams / simulateMix
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Per-core simulation state. */
+struct CoreState
+{
+    StreamSpec spec;
+    /** Time the pending access reaches the LLC. */
+    double readyAt = 0.0;
+    CoreWorkload::Access pending;
+    std::uint64_t instrs = 0;
+    bool done = false;
+};
+
+} // anonymous namespace
+
+SimResult
+simulateStreams(std::vector<StreamSpec> streams,
+                const SystemConfig &config,
+                const PageUpgradeOracle &oracle)
+{
+    if (streams.size() != 4)
+        fatal("simulateStreams: the system model has 4 cores, got %zu "
+              "streams", streams.size());
+
+    MemorySystem memory(config.mem, config.mapPolicy, config.ctrl);
+    std::unique_ptr<BaseLlc> llc;
+    if (config.sectoredLlc)
+        llc = std::make_unique<SectoredLlc>(config.llc);
+    else
+        llc = std::make_unique<PairedTagLlc>(config.llc);
+
+    const double cycle_ns = 1.0 / config.cpuGhz;
+    const std::uint64_t capacity = memory.map().capacity();
+
+    std::vector<CoreState> cores(4);
+    std::vector<CoreResult> results(4);
+    for (int i = 0; i < 4; ++i) {
+        cores[i].spec = std::move(streams[i]);
+        cores[i].pending = cores[i].spec.next();
+        cores[i].readyAt =
+            static_cast<double>(cores[i].pending.instrGap) /
+            cores[i].spec.baseIpc * cycle_ns;
+        results[i].benchmark = cores[i].spec.name;
+    }
+
+    std::uint64_t mem_reads = 0;
+    std::uint64_t mem_writes = 0;
+    double end_time = 0.0;
+    int active = 4;
+
+    while (active > 0) {
+        // Pick the core whose pending access is earliest so memory sees
+        // non-decreasing arrival times.
+        int ci = -1;
+        double best = 0.0;
+        for (int i = 0; i < 4; ++i) {
+            if (cores[i].done)
+                continue;
+            if (ci < 0 || cores[i].readyAt < best) {
+                ci = i;
+                best = cores[i].readyAt;
+            }
+        }
+        CoreState &core = cores[ci];
+        double now = core.readyAt;
+
+        std::uint64_t addr = core.pending.addr % capacity;
+        bool upgraded = oracle.upgraded(addr);
+        LlcOutcome out =
+            llc->access(addr, core.pending.isWrite, upgraded);
+
+        ++results[ci].llcAccesses;
+        double done_at = now + config.llc.hitLatencyNs;
+        if (!out.hit) {
+            ++results[ci].llcMisses;
+            // Dirty evictions go to memory without stalling the core.
+            for (const Writeback &wb : out.writebacks) {
+                memory.access(now, wb.addr, /*is_write=*/true,
+                              wb.paired);
+                ++mem_writes;
+                if (wb.paired)
+                    ++mem_writes; // both sub-lines hit the bus.
+            }
+            double completion =
+                memory.access(now, addr, /*is_write=*/false, upgraded);
+            ++mem_reads;
+            if (upgraded)
+                ++mem_reads;
+            double stall =
+                (completion - now) * (1.0 - config.stallOverlap);
+            done_at = now + config.llc.hitLatencyNs + stall;
+        }
+        if (out.replaced)
+            done_at += config.llc.secondTagAccessNs;
+
+        core.instrs += core.pending.instrGap;
+        end_time = std::max(end_time, done_at);
+
+        if (core.instrs >= config.instrsPerCore) {
+            core.done = true;
+            --active;
+            results[ci].instrs = core.instrs;
+            results[ci].ipc =
+                static_cast<double>(core.instrs) /
+                (done_at / cycle_ns);
+            continue;
+        }
+
+        core.pending = core.spec.next();
+        core.readyAt =
+            done_at + static_cast<double>(core.pending.instrGap) /
+                          core.spec.baseIpc * cycle_ns;
+    }
+
+    memory.finalize(end_time);
+
+    SimResult res;
+    res.cores = results;
+    for (const auto &c : results)
+        res.ipcSum += c.ipc;
+    res.elapsedNs = end_time;
+    res.power = memory.breakdown();
+    res.avgPowerMw = res.power.avgPowerMw(end_time);
+    res.llcStats = llc->stats();
+    res.memReads = mem_reads;
+    res.memWrites = mem_writes;
+    return res;
+}
+
+SimResult
+simulateMix(const WorkloadMix &mix, const SystemConfig &config,
+            const PageUpgradeOracle &oracle)
+{
+    if (mix.benchmarks.size() != 4)
+        fatal("mix '%s' must have 4 benchmarks", mix.name.c_str());
+
+    // Capacity depends only on the memory config, not the controller.
+    AddressMap map(config.mem, config.mapPolicy);
+    std::vector<StreamSpec> streams;
+    for (int i = 0; i < 4; ++i) {
+        const BenchmarkProfile &prof =
+            benchmarkProfile(mix.benchmarks[i]);
+        auto wl = std::make_shared<CoreWorkload>(
+            prof, map.capacity(), i, config.seed + 1000003ULL * i);
+        StreamSpec spec;
+        spec.name = prof.name;
+        spec.baseIpc = prof.baseIpc;
+        spec.next = [wl]() { return wl->next(); };
+        streams.push_back(std::move(spec));
+    }
+    return simulateStreams(std::move(streams), config, oracle);
+}
+
+} // namespace arcc

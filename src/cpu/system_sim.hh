@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Quad-core trace-driven system simulator (the M5 substitute).
+ *
+ * Four cores, a shared LLC (either ARCC design), and the DDR2 memory
+ * system are co-simulated event-driven in nanoseconds.  The processor
+ * model follows Table 7.2 in spirit: a modest 2-wide core whose compute
+ * throughput between LLC accesses is the benchmark's base IPC, with a
+ * configurable fraction of each memory stall hidden by the out-of-order
+ * window.  Performance of a mix is reported as the sum of the per-core
+ * IPCs, exactly as the paper reports it.
+ */
+
+#ifndef ARCC_CPU_SYSTEM_SIM_HH
+#define ARCC_CPU_SYSTEM_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "cpu/workloads.hh"
+#include "dram/mem_controller.hh"
+
+namespace arcc
+{
+
+/**
+ * Decides which pages run in the upgraded chipkill mode.  The decision
+ * is page-granular and derived either from a structured device-level
+ * fault (Table 7.4 geometry) or from a target upgraded fraction.
+ */
+class PageUpgradeOracle
+{
+  public:
+    /** Fault scenarios of Table 7.4. */
+    enum class Scenario
+    {
+        None,
+        Lane,    ///< both ranks upgraded: 100% of pages.
+        Device,  ///< one of the ranks: 1/2.
+        Bank,    ///< one bank of one rank: 1/16.
+        Column,  ///< half the pages of one bank: 1/32.
+        Fraction ///< pseudo-random pages at a given fraction.
+    };
+
+    /** No pages upgraded. */
+    PageUpgradeOracle() = default;
+
+    /** Structured scenario evaluated against the given address map. */
+    static PageUpgradeOracle forScenario(Scenario s,
+                                         const MemoryConfig &config);
+
+    /** Pseudo-random pages upgraded at the given fraction. */
+    static PageUpgradeOracle forFraction(double fraction,
+                                         const MemoryConfig &config);
+
+    /** @return true when addr's page operates in upgraded mode. */
+    bool upgraded(std::uint64_t addr) const;
+
+    /** Expected fraction of pages upgraded. */
+    double expectedFraction() const { return expected_; }
+
+    Scenario scenario() const { return scenario_; }
+
+    /** Human-readable scenario name. */
+    static const char *name(Scenario s);
+
+  private:
+    Scenario scenario_ = Scenario::None;
+    double expected_ = 0.0;
+    double fraction_ = 0.0;
+    std::shared_ptr<AddressMap> map_;
+};
+
+/** Simulation knobs. */
+struct SystemConfig
+{
+    MemoryConfig mem;
+    CacheConfig llc;
+    ControllerConfig ctrl;
+    MapPolicy mapPolicy = MapPolicy::HiPerf;
+    bool sectoredLlc = false;
+    /** Instructions each core retires before the run ends. */
+    std::uint64_t instrsPerCore = 2'000'000;
+    double cpuGhz = 3.0;
+    /** Fraction of each memory stall hidden by the OoO window. */
+    double stallOverlap = 0.3;
+    std::uint64_t seed = 42;
+};
+
+/** Per-core outcome. */
+struct CoreResult
+{
+    std::string benchmark;
+    std::uint64_t instrs = 0;
+    double ipc = 0.0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+};
+
+/** Whole-run outcome. */
+struct SimResult
+{
+    std::vector<CoreResult> cores;
+    /** Sum of per-core IPCs (the paper's performance metric). */
+    double ipcSum = 0.0;
+    double elapsedNs = 0.0;
+    PowerBreakdown power;
+    double avgPowerMw = 0.0;
+    LlcStats llcStats;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+};
+
+/** Run one mix on one configuration. */
+SimResult simulateMix(const WorkloadMix &mix, const SystemConfig &config,
+                      const PageUpgradeOracle &oracle);
+
+/**
+ * One core's access source for simulateStreams: a name (reporting), a
+ * generator, and the core's compute throughput between accesses.
+ * Captured trace files (cpu/trace.hh) plug in here just as well as the
+ * synthetic generators.
+ */
+struct StreamSpec
+{
+    std::string name;
+    std::function<CoreWorkload::Access()> next;
+    double baseIpc = 1.0;
+};
+
+/**
+ * Run four arbitrary access streams (synthetic, trace replay, or a
+ * mixture) through the same system model simulateMix uses.
+ */
+SimResult simulateStreams(std::vector<StreamSpec> streams,
+                          const SystemConfig &config,
+                          const PageUpgradeOracle &oracle);
+
+} // namespace arcc
+
+#endif // ARCC_CPU_SYSTEM_SIM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace capture / replay implementation.
+ */
+
+#include "cpu/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+TraceWriter::TraceWriter(std::ostream &out) : out_(out)
+{
+    out_ << "# ARCC memory trace: <hex-addr> <R|W> <instr-gap>\n";
+}
+
+void
+TraceWriter::append(const CoreWorkload::Access &access)
+{
+    out_ << std::hex << access.addr << std::dec << ' '
+         << (access.isWrite ? 'W' : 'R') << ' ' << access.instrGap
+         << '\n';
+    ++count_;
+}
+
+std::vector<CoreWorkload::Access>
+parseTrace(std::istream &in)
+{
+    std::vector<CoreWorkload::Access> out;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string addr_s, rw;
+        std::uint64_t gap = 0;
+        if (!(ss >> addr_s >> rw >> gap))
+            fatal("trace line %llu malformed: '%s'",
+                  static_cast<unsigned long long>(line_no),
+                  line.c_str());
+        CoreWorkload::Access a;
+        a.addr = std::strtoull(addr_s.c_str(), nullptr, 16);
+        if (rw == "W" || rw == "w")
+            a.isWrite = true;
+        else if (rw == "R" || rw == "r")
+            a.isWrite = false;
+        else
+            fatal("trace line %llu: access type '%s' is not R or W",
+                  static_cast<unsigned long long>(line_no), rw.c_str());
+        a.instrGap = gap;
+        out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<CoreWorkload::Access>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return parseTrace(in);
+}
+
+TraceReplay::TraceReplay(std::vector<CoreWorkload::Access> accesses)
+    : accesses_(std::move(accesses))
+{
+    if (accesses_.empty())
+        fatal("TraceReplay: empty trace");
+}
+
+CoreWorkload::Access
+TraceReplay::next()
+{
+    CoreWorkload::Access a = accesses_[pos_];
+    if (++pos_ == accesses_.size()) {
+        pos_ = 0;
+        ++laps_;
+    }
+    return a;
+}
+
+} // namespace arcc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory-access trace capture and replay.
+ *
+ * The synthetic generators in workloads.hh are statistical stand-ins
+ * for SPEC (DESIGN.md section 4).  Users who *do* have real traces --
+ * from a PIN tool, gem5, or a production sampler -- can feed them to
+ * the same simulator through TraceReplay and compare against the
+ * synthetic twins, or capture the twins' streams for inspection with
+ * TraceWriter.
+ *
+ * Format: plain text, one access per line,
+ *
+ *     <hex-address> <R|W> <instructions-since-previous-access>
+ *
+ * '#'-prefixed lines are comments.
+ */
+
+#ifndef ARCC_CPU_TRACE_HH
+#define ARCC_CPU_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/workloads.hh"
+
+namespace arcc
+{
+
+/** Write accesses to a trace stream. */
+class TraceWriter
+{
+  public:
+    /** @param out destination stream (not owned). */
+    explicit TraceWriter(std::ostream &out);
+
+    /** Append one access. */
+    void append(const CoreWorkload::Access &access);
+
+    /** Accesses written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ostream &out_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Parse a trace stream into memory.
+ * @throws nothing; calls fatal() on malformed input (user error).
+ */
+std::vector<CoreWorkload::Access> parseTrace(std::istream &in);
+
+/** Load a trace file; fatal() if it cannot be opened or parsed. */
+std::vector<CoreWorkload::Access> loadTrace(const std::string &path);
+
+/**
+ * Replays a recorded trace as an access stream, looping when the
+ * simulator needs more accesses than the trace holds.
+ */
+class TraceReplay
+{
+  public:
+    explicit TraceReplay(std::vector<CoreWorkload::Access> accesses);
+
+    /** Next access (wraps around at the end of the trace). */
+    CoreWorkload::Access next();
+
+    std::size_t size() const { return accesses_.size(); }
+    /** Number of times the trace has wrapped. */
+    std::uint64_t laps() const { return laps_; }
+
+  private:
+    std::vector<CoreWorkload::Access> accesses_;
+    std::size_t pos_ = 0;
+    std::uint64_t laps_ = 0;
+};
+
+} // namespace arcc
+
+#endif // ARCC_CPU_TRACE_HH

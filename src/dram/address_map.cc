@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Address mapping implementation.
+ *
+ * All three policies keep the 64B line offset in the low six bits.  The
+ * HiPerf and ClosePage policies put the channel index immediately above
+ * the offset so adjacent lines alternate channels -- the property ARCC
+ * depends on (Section 4.1).
+ */
+
+#include "dram/address_map.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Extract a field of `count` values from addr, advancing it. */
+std::uint64_t
+takeField(std::uint64_t &addr, std::uint64_t count)
+{
+    std::uint64_t v = addr % count;
+    addr /= count;
+    return v;
+}
+
+} // anonymous namespace
+
+AddressMap::AddressMap(const MemoryConfig &config, MapPolicy policy)
+    : policy_(policy),
+      channels_(config.channels),
+      ranks_(config.ranksPerChannel),
+      banks_(config.device.banks)
+{
+    // The paper's logical row: pagesPerRow 4KB pages spread across the
+    // channels; each channel-row slice holds this many 64B lines.
+    std::uint64_t lines =
+        static_cast<std::uint64_t>(config.pagesPerRow) * kLinesPerPage /
+        channels_;
+    if (lines == 0 || config.pagesPerRow * kLinesPerPage %
+                          static_cast<std::uint64_t>(channels_) != 0)
+        fatal("AddressMap: %d pages/row does not split over %d channels",
+              config.pagesPerRow, channels_);
+    lines_per_row_ = static_cast<std::uint32_t>(lines);
+
+    capacity_ = config.dataBytes();
+    std::uint64_t row_slice_bytes = lines_per_row_ * kLineBytes;
+    std::uint64_t denom = static_cast<std::uint64_t>(channels_) * ranks_ *
+                          banks_ * row_slice_bytes;
+    if (capacity_ % denom != 0)
+        fatal("AddressMap: capacity %llu not divisible by geometry",
+              static_cast<unsigned long long>(capacity_));
+    rows_ = static_cast<std::uint32_t>(capacity_ / denom);
+}
+
+DramCoord
+AddressMap::decode(std::uint64_t addr) const
+{
+    ARCC_ASSERT(addr < capacity_);
+    std::uint64_t line = addr / kLineBytes;
+    DramCoord c;
+    switch (policy_) {
+      case MapPolicy::HiPerf:
+        c.channel = static_cast<int>(takeField(line, channels_));
+        c.column = static_cast<std::uint32_t>(
+            takeField(line, lines_per_row_));
+        c.bank = static_cast<int>(takeField(line, banks_));
+        c.rank = static_cast<int>(takeField(line, ranks_));
+        c.row = static_cast<std::uint32_t>(takeField(line, rows_));
+        break;
+      case MapPolicy::ClosePage:
+        c.channel = static_cast<int>(takeField(line, channels_));
+        c.column = static_cast<std::uint32_t>(
+            takeField(line, lines_per_row_));
+        c.rank = static_cast<int>(takeField(line, ranks_));
+        c.bank = static_cast<int>(takeField(line, banks_));
+        c.row = static_cast<std::uint32_t>(takeField(line, rows_));
+        break;
+      case MapPolicy::Base:
+        c.column = static_cast<std::uint32_t>(
+            takeField(line, lines_per_row_));
+        c.channel = static_cast<int>(takeField(line, channels_));
+        c.bank = static_cast<int>(takeField(line, banks_));
+        c.rank = static_cast<int>(takeField(line, ranks_));
+        c.row = static_cast<std::uint32_t>(takeField(line, rows_));
+        break;
+    }
+    return c;
+}
+
+std::uint64_t
+AddressMap::encode(const DramCoord &coord) const
+{
+    std::uint64_t line = 0;
+    switch (policy_) {
+      case MapPolicy::HiPerf:
+        line = coord.row;
+        line = line * ranks_ + coord.rank;
+        line = line * banks_ + coord.bank;
+        line = line * lines_per_row_ + coord.column;
+        line = line * channels_ + coord.channel;
+        break;
+      case MapPolicy::ClosePage:
+        line = coord.row;
+        line = line * banks_ + coord.bank;
+        line = line * ranks_ + coord.rank;
+        line = line * lines_per_row_ + coord.column;
+        line = line * channels_ + coord.channel;
+        break;
+      case MapPolicy::Base:
+        line = coord.row;
+        line = line * ranks_ + coord.rank;
+        line = line * banks_ + coord.bank;
+        line = line * channels_ + coord.channel;
+        line = line * lines_per_row_ + coord.column;
+        break;
+    }
+    return line * kLineBytes;
+}
+
+} // namespace arcc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ones'-complement checksum and XOR parity implementation.
+ */
+
+#include "ecc/checksum.hh"
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+std::uint16_t
+OnesComplement16::compute(std::span<const std::uint8_t> bytes)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < bytes.size(); i += 2)
+        sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+    if (i < bytes.size())
+        sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    // Store the *complement* of the sum, as the Internet-checksum
+    // convention does.  This is what gives LOT-ECC its all-0 / all-1
+    // guarantee (Chapter 2): a stuck-at-0 device returns a zero slice
+    // AND a zero checksum, which mismatch because the complement of a
+    // zero sum is 0xffff; dually for stuck-at-1.
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void
+xorInto(std::span<std::uint8_t> acc, std::span<const std::uint8_t> src)
+{
+    ARCC_ASSERT(acc.size() == src.size());
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] ^= src[i];
+}
+
+} // namespace arcc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Checksum and parity primitives for the LOT-ECC substrate.
+ *
+ * LOT-ECC (Udipi et al., ISCA 2012) protects each device's slice of a
+ * cache line with a local ones'-complement checksum (tier-1 error
+ * detection / localisation) and reconstructs a bad device's slice from
+ * an XOR parity column (tier-2 error correction).  Chapter 2 of the
+ * ARCC paper describes the scheme and its caveat: the checksum only
+ * *guarantees* detection of device faults whose output is all-0s or
+ * all-1s; arbitrary corruption is detected only probabilistically.
+ * That caveat is preserved here -- the checksum really can alias.
+ */
+
+#ifndef ARCC_ECC_CHECKSUM_HH
+#define ARCC_ECC_CHECKSUM_HH
+
+#include <cstdint>
+#include <span>
+
+namespace arcc
+{
+
+/**
+ * Ones'-complement sum of 16-bit big-endian words, as used by LOT-ECC
+ * for its tier-1 error detection code.
+ */
+class OnesComplement16
+{
+  public:
+    /**
+     * Checksum a byte buffer.  Odd trailing bytes are padded with zero.
+     * Returns the complement of the end-around-carry sum, so a stuck
+     * all-0 or all-1 device output always mismatches (the LOT-ECC
+     * detection guarantee of Chapter 2).
+     */
+    static std::uint16_t compute(std::span<const std::uint8_t> bytes);
+
+    /** @return true when the data matches the stored checksum. */
+    static bool
+    verify(std::span<const std::uint8_t> bytes, std::uint16_t stored)
+    {
+        return compute(bytes) == stored;
+    }
+};
+
+/** XOR a source buffer into an accumulator buffer of equal length. */
+void xorInto(std::span<std::uint8_t> acc,
+             std::span<const std::uint8_t> src);
+
+} // namespace arcc
+
+#endif // ARCC_ECC_CHECKSUM_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * GF(2^8) table construction.
+ */
+
+#include "ecc/gf256.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+struct Tables
+{
+    std::array<std::uint8_t, 256> exp{};
+    std::array<int, 256> log{};
+
+    Tables()
+    {
+        std::uint16_t x = 1;
+        for (int i = 0; i < GF256::kGroupOrder; ++i) {
+            exp[i] = static_cast<std::uint8_t>(x);
+            log[static_cast<std::uint8_t>(x)] = i;
+            x <<= 1;
+            if (x & 0x100)
+                x ^= GF256::kPoly;
+        }
+        // exp[255] aliases exp[0] so alphaPow(255) is still correct if
+        // reached without the modulo (it is not, but keep it sane).
+        exp[255] = exp[0];
+        log[0] = 0; // undefined; callers must not ask for log(0).
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // anonymous namespace
+
+const std::array<std::uint8_t, 256> &
+GF256::expTable()
+{
+    return tables().exp;
+}
+
+const std::array<int, 256> &
+GF256::logTable()
+{
+    return tables().log;
+}
+
+} // namespace arcc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional model of LOT-ECC line protection (Chapters 2 and 5.2).
+ *
+ * Two geometries are modelled:
+ *
+ *  - **9-device** (the ISCA'12 configuration): a 64B line is striped
+ *    8 bytes per device across 8 data devices; the 9th device stores
+ *    the XOR of the 8 slices.  Each data device additionally keeps a
+ *    local ones'-complement checksum of its slice for detection and
+ *    localisation.  Corrects one bad device (single chipkill correct).
+ *
+ *  - **18-device** (the extension ARCC enables, Chapter 5.2): a 64B
+ *    line is striped 4 bytes per device across 16 data devices; the
+ *    17th device stores XOR parity and the 18th is a *spare* to which
+ *    a diagnosed bad device's slice is remapped, providing double chip
+ *    sparing.  The checksums live in a different line of the same row,
+ *    which is why reads to upgraded pages cost an extra access (that
+ *    cost is modelled in the performance plane, not here).
+ *
+ * The tier-1 checksum caveat is faithfully preserved: corruption whose
+ * slice still matches its checksum is *not* detected here, exactly as
+ * in the real scheme.
+ */
+
+#ifndef ARCC_ECC_LOT_ECC_HH
+#define ARCC_ECC_LOT_ECC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/checksum.hh"
+#include "ecc/reed_solomon.hh" // DecodeStatus
+
+namespace arcc
+{
+
+/** One LOT-ECC protected line plus its redundancy. */
+struct LotLine
+{
+    /** Per-device data slices; [dataDevices] is the XOR parity slice. */
+    std::vector<std::vector<std::uint8_t>> slices;
+    /** Per-slice ones'-complement checksums (data + parity slices). */
+    std::vector<std::uint16_t> checksums;
+};
+
+/** Result of a LOT-ECC line verification. */
+struct LotDecodeResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    /** Device whose slice was reconstructed, or -1. */
+    int deviceCorrected = -1;
+};
+
+/**
+ * Encoder / decoder for LOT-ECC lines.
+ */
+class LotEcc
+{
+  public:
+    /**
+     * @param dataDevices  8 (nine-device rank) or 16 (18-device rank).
+     * @param lineBytes    line size striped across the data devices.
+     */
+    LotEcc(int dataDevices, int lineBytes = 64);
+
+    int dataDevices() const { return dataDevices_; }
+    int sliceBytes() const { return sliceBytes_; }
+
+    /** Encode a line into slices, parity and checksums. */
+    LotLine encode(std::span<const std::uint8_t> line) const;
+
+    /**
+     * Verify a line and correct at most one bad device in place.
+     * Localisation uses the checksums; correction uses XOR parity.
+     * Two or more checksum mismatches are Detected (uncorrectable).
+     */
+    LotDecodeResult decode(LotLine &line) const;
+
+    /** Reassemble the data bytes of a (verified) line. */
+    std::vector<std::uint8_t> extract(const LotLine &line) const;
+
+  private:
+    int dataDevices_;
+    int lineBytes_;
+    int sliceBytes_;
+};
+
+} // namespace arcc
+
+#endif // ARCC_ECC_LOT_ECC_HH

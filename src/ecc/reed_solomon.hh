@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Systematic Reed-Solomon codes over GF(2^8) with errors-and-erasures
+ * decoding.
+ *
+ * One codec instance models one (n, k) code.  The codes the paper uses:
+ *
+ *  - RS(18, 16): the ARCC *relaxed* codeword (2 check symbols, one
+ *    18-device rank).  Guarantees single-symbol correction.
+ *  - RS(36, 32): the ARCC *upgraded* codeword and the commercial
+ *    SCCDCD codeword (4 check symbols, 36 devices).  Decoded with
+ *    maxCorrect = 1 this corrects one bad symbol and is guaranteed to
+ *    detect up to three more (d = 5); decoded with maxCorrect = 2 it
+ *    models the correction capability of double chip sparing once the
+ *    first bad device has been identified.
+ *  - RS(72, 64): the second-level upgraded codeword of Chapter 5.1
+ *    (8 check symbols across four channels).
+ *
+ * The decoder also accepts *erasures* (positions known bad, e.g. a
+ * device already diagnosed and remapped by chip sparing); e errors and
+ * f erasures are corrected whenever 2e + f <= n - k.
+ */
+
+#ifndef ARCC_ECC_REED_SOLOMON_HH
+#define ARCC_ECC_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/gf256.hh"
+
+namespace arcc
+{
+
+/** Outcome of a decode attempt. */
+enum class DecodeStatus
+{
+    /** Syndromes were all zero: no error present (or undetectable). */
+    Clean,
+    /** Errors were found and corrected in place. */
+    Corrected,
+    /**
+     * An error was detected but exceeds the configured correction
+     * capability: a detectable uncorrectable error (DUE).
+     */
+    Detected,
+};
+
+/** Full result of a decode attempt. */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    /** Number of symbols changed by the decoder (errors + erasures). */
+    int symbolsCorrected = 0;
+    /** Codeword positions the decoder changed. */
+    std::vector<int> positions;
+
+    bool ok() const { return status != DecodeStatus::Detected; }
+};
+
+/**
+ * A systematic RS(n, k) codec over GF(2^8).  Codewords are arrays of n
+ * bytes: data symbols in [0, k), check symbols in [k, n).
+ */
+class ReedSolomon
+{
+  public:
+    /**
+     * Build the codec.
+     * @param n codeword length in symbols (2 <= n <= 255).
+     * @param k data symbols per codeword (1 <= k < n).
+     */
+    ReedSolomon(int n, int k);
+
+    int n() const { return n_; }
+    int k() const { return k_; }
+    /** Number of check symbols. */
+    int r() const { return n_ - k_; }
+
+    /**
+     * Encode in place: reads codeword[0..k), writes codeword[k..n).
+     * @param codeword buffer of at least n symbols.
+     */
+    void encode(std::span<std::uint8_t> codeword) const;
+
+    /**
+     * Syndrome check without correction.
+     * @return true when all syndromes are zero.
+     */
+    bool syndromesZero(std::span<const std::uint8_t> codeword) const;
+
+    /**
+     * Decode in place.
+     *
+     * @param codeword   buffer of n symbols, corrected on success.
+     * @param maxCorrect cap on the number of *errors* (not erasures)
+     *                   the decoder may correct; -1 means the full
+     *                   capability floor((r - f) / 2).  SCCDCD uses 1.
+     * @param erasures   positions known to be unreliable.
+     * @return the decode outcome.
+     */
+    DecodeResult decode(std::span<std::uint8_t> codeword,
+                        int maxCorrect = -1,
+                        std::span<const int> erasures = {}) const;
+
+    /**
+     * Evaluate the received word at alpha^j (the j-th syndrome of the
+     * error polynomial when j < r; for j >= r this is the evaluation a
+     * *virtualised* check symbol must match).  VECC stores such extra
+     * evaluations out of line (tier-2 ECC) and hands them back via
+     * decodeWithSyndromes.
+     */
+    std::uint8_t evalAt(std::span<const std::uint8_t> codeword,
+                        int j) const;
+
+    /**
+     * Decode with an externally supplied syndrome sequence.  `synd`
+     * may be *longer* than r: VECC's tier-2 check symbols extend the
+     * effective redundancy of the inline codeword (Chapter 5.2), so an
+     * RS(18,16) word plus two virtualised evaluations decodes with
+     * four syndromes.
+     */
+    DecodeResult decodeWithSyndromes(
+        std::span<std::uint8_t> codeword,
+        std::span<const std::uint8_t> synd, int maxCorrect = -1,
+        std::span<const int> erasures = {}) const;
+
+  private:
+    /** Compute the r syndromes; @return true if any is non-zero. */
+    bool computeSyndromes(std::span<const std::uint8_t> codeword,
+                          std::vector<std::uint8_t> &synd) const;
+
+    int n_;
+    int k_;
+    /** Generator polynomial, low-order coefficient first. */
+    std::vector<std::uint8_t> gen_;
+};
+
+/** Polynomial helpers shared with tests (coefficients low-to-high). */
+namespace gfpoly
+{
+
+/** Multiply two polynomials over GF(2^8). */
+std::vector<std::uint8_t> mul(std::span<const std::uint8_t> a,
+                              std::span<const std::uint8_t> b);
+
+/** Evaluate a polynomial at x. */
+std::uint8_t eval(std::span<const std::uint8_t> p, std::uint8_t x);
+
+/** Formal derivative (over GF(2^m) even-power terms vanish). */
+std::vector<std::uint8_t> derivative(std::span<const std::uint8_t> p);
+
+/** Degree of p (-1 for the zero polynomial). */
+int degree(std::span<const std::uint8_t> p);
+
+} // namespace gfpoly
+
+} // namespace arcc
+
+#endif // ARCC_ECC_REED_SOLOMON_HH

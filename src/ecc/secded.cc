@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SECDED (72, 64) implementation: Hamming(71, 64) plus overall parity.
+ */
+
+#include "ecc/secded.hh"
+
+#include <array>
+
+namespace arcc
+{
+
+namespace
+{
+
+/** True when p is a power of two (a Hamming check-bit position). */
+constexpr bool
+isPow2(int p)
+{
+    return (p & (p - 1)) == 0;
+}
+
+/** Positions of the 7 Hamming check bits within the 1-based codeword. */
+constexpr std::array<int, 7> kCheckPos = {1, 2, 4, 8, 16, 32, 64};
+
+/**
+ * Codeword position (1-based Hamming numbering) of each data bit.
+ * Data bits fill non-power-of-two positions in increasing order.
+ */
+struct PositionMap
+{
+    std::array<int, 64> dataPos{};
+    // Reverse map: position -> data bit index, or -1.
+    std::array<int, 128> posData{};
+
+    PositionMap()
+    {
+        posData.fill(-1);
+        int p = 1;
+        for (int d = 0; d < 64; ++d) {
+            while (isPow2(p))
+                ++p;
+            dataPos[d] = p;
+            posData[p] = d;
+            ++p;
+        }
+    }
+};
+
+const PositionMap &
+posMap()
+{
+    static const PositionMap m;
+    return m;
+}
+
+/** Syndrome contribution of the data bits only. */
+int
+dataSyndrome(std::uint64_t data)
+{
+    const PositionMap &m = posMap();
+    int s = 0;
+    while (data) {
+        int d = __builtin_ctzll(data);
+        data &= data - 1;
+        s ^= m.dataPos[d];
+    }
+    return s;
+}
+
+/** Parity (popcount mod 2) of a 64-bit word. */
+int
+parity64(std::uint64_t x)
+{
+    return __builtin_parityll(x);
+}
+
+} // anonymous namespace
+
+std::uint8_t
+Secded::encode(std::uint64_t data)
+{
+    int s = dataSyndrome(data);
+    std::uint8_t check = 0;
+    // Hamming bits: bit i of the syndrome lives at position 2^i.
+    for (int i = 0; i < 7; ++i) {
+        if (s & (1 << i))
+            check |= static_cast<std::uint8_t>(1 << i);
+    }
+    // Overall parity over data plus the 7 Hamming bits.
+    int p = parity64(data) ^ parity64(check & 0x7f);
+    if (p)
+        check |= 0x80;
+    return check;
+}
+
+Secded::Result
+Secded::decode(std::uint64_t &data, std::uint8_t &check)
+{
+    Result res;
+    const PositionMap &m = posMap();
+
+    int s = dataSyndrome(data);
+    for (int i = 0; i < 7; ++i) {
+        if (check & (1 << i))
+            s ^= kCheckPos[i];
+    }
+    int p = parity64(data) ^ parity64(check);
+
+    if (s == 0 && p == 0) {
+        res.status = DecodeStatus::Clean;
+        return res;
+    }
+    if (s == 0 && p == 1) {
+        // The overall parity bit itself flipped.
+        check ^= 0x80;
+        res.status = DecodeStatus::Corrected;
+        res.bitCorrected = 72;
+        return res;
+    }
+    if (p == 0) {
+        // Non-zero syndrome with even parity: double-bit error.
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // Single-bit error at position s.
+    if (s < 128 && m.posData[s] >= 0) {
+        data ^= 1ULL << m.posData[s];
+        res.status = DecodeStatus::Corrected;
+        res.bitCorrected = s;
+        return res;
+    }
+    if (s < 128 && isPow2(s) && s <= 64) {
+        int i = __builtin_ctz(static_cast<unsigned>(s));
+        check ^= static_cast<std::uint8_t>(1 << i);
+        res.status = DecodeStatus::Corrected;
+        res.bitCorrected = s;
+        return res;
+    }
+
+    // Syndrome points outside the codeword: not a single-bit pattern.
+    res.status = DecodeStatus::Detected;
+    return res;
+}
+
+} // namespace arcc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SECDED (72, 64) extended Hamming code.
+ *
+ * This is the weaker, 9-device-per-access baseline the paper contrasts
+ * chipkill against (Chapter 1).  One 64-bit data word carries 8 check
+ * bits: 7 Hamming bits plus one overall parity bit.  Single bit errors
+ * are corrected; double bit errors are detected.
+ */
+
+#ifndef ARCC_ECC_SECDED_HH
+#define ARCC_ECC_SECDED_HH
+
+#include <cstdint>
+
+#include "ecc/reed_solomon.hh" // for DecodeStatus
+
+namespace arcc
+{
+
+/** SECDED codec over 64-bit words. */
+class Secded
+{
+  public:
+    /** Result of a SECDED decode. */
+    struct Result
+    {
+        DecodeStatus status = DecodeStatus::Clean;
+        /** Bit index corrected in the 72-bit word (-1 if none). */
+        int bitCorrected = -1;
+    };
+
+    /** @return the 8 check bits for a 64-bit data word. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /**
+     * Check and correct a (data, check) pair in place.
+     * Single-bit errors in either data or check bits are corrected;
+     * double-bit errors are Detected.
+     */
+    static Result decode(std::uint64_t &data, std::uint8_t &check);
+};
+
+} // namespace arcc
+
+#endif // ARCC_ECC_SECDED_HH

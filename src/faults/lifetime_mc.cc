@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fleet Monte Carlo implementation.
+ */
+
+#include "faults/lifetime_mc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/**
+ * Exact union tracker for the worst-case page footprint of big faults:
+ * the domain is a grid of (rank, bank, half) cells, each covering
+ * 1 / (ranks * banks * 2) of the pages; small faults (row/word/bit)
+ * add their handful of pages additively (overlap with cells is
+ * negligible and ignored).
+ */
+class AffectedTracker
+{
+  public:
+    explicit AffectedTracker(const DomainGeometry &geom)
+        : geom_(geom),
+          cells_(static_cast<std::size_t>(geom.ranks) *
+                     geom.banksPerDevice * 2,
+                 false)
+    {
+    }
+
+    void
+    apply(const FaultEvent &e)
+    {
+        switch (e.type) {
+          case FaultType::Lane:
+            for (std::size_t i = 0; i < cells_.size(); ++i)
+                markCell(i);
+            break;
+          case FaultType::Device:
+            for (int b = 0; b < geom_.banksPerDevice; ++b)
+                for (int h = 0; h < 2; ++h)
+                    markCell(idx(e.rank, b, h));
+            break;
+          case FaultType::Bank:
+            markCell(idx(e.rank, e.bank, 0));
+            markCell(idx(e.rank, e.bank, 1));
+            break;
+          case FaultType::Column:
+            markCell(idx(e.rank, e.bank, e.half));
+            break;
+          case FaultType::Row:
+            smallPages_ += geom_.pagesPerRow;
+            break;
+          case FaultType::Word:
+          case FaultType::Bit:
+            smallPages_ += 1;
+            break;
+        }
+    }
+
+    double
+    fraction() const
+    {
+        double big = static_cast<double>(marked_) /
+                     static_cast<double>(cells_.size());
+        double small = static_cast<double>(smallPages_) /
+                       static_cast<double>(geom_.pages);
+        return std::min(1.0, big + small);
+    }
+
+  private:
+    std::size_t
+    idx(int rank, int bank, int half) const
+    {
+        return (static_cast<std::size_t>(rank) * geom_.banksPerDevice +
+                bank) * 2 + half;
+    }
+
+    void
+    markCell(std::size_t i)
+    {
+        if (!cells_[i]) {
+            cells_[i] = true;
+            ++marked_;
+        }
+    }
+
+    DomainGeometry geom_;
+    std::vector<bool> cells_;
+    std::size_t marked_ = 0;
+    std::uint64_t smallPages_ = 0;
+};
+
+} // anonymous namespace
+
+LifetimeMc::LifetimeMc(const LifetimeMcConfig &config) : config_(config)
+{
+    if (config_.channels <= 0)
+        fatal("LifetimeMc: need at least one channel");
+}
+
+AffectedCurve
+LifetimeMc::affectedFraction() const
+{
+    const int points =
+        static_cast<int>(config_.years * config_.gridPerYear);
+    AffectedCurve curve;
+    curve.timeYears.resize(points);
+    curve.avgFraction.assign(points, 0.0);
+    for (int p = 0; p < points; ++p)
+        curve.timeYears[p] =
+            (p + 1) / static_cast<double>(config_.gridPerYear);
+
+    const double hours = config_.years * kHoursPerYear;
+    FaultSampler sampler(config_.geom, config_.rates);
+    Rng rng(config_.seed);
+
+    for (int c = 0; c < config_.channels; ++c) {
+        Rng chan_rng = rng.fork();
+        auto events = sampler.sampleLifetime(hours, chan_rng);
+        AffectedTracker tracker(config_.geom);
+        std::size_t next = 0;
+        for (int p = 0; p < points; ++p) {
+            double t_hours = curve.timeYears[p] * kHoursPerYear;
+            while (next < events.size() &&
+                   events[next].timeHours <= t_hours) {
+                tracker.apply(events[next]);
+                ++next;
+            }
+            curve.avgFraction[p] += tracker.fraction();
+        }
+    }
+    for (double &f : curve.avgFraction)
+        f /= config_.channels;
+    return curve;
+}
+
+std::vector<double>
+LifetimeMc::cumulativeOverheadByYear(const PerTypeOverhead &overhead,
+                                     double cap) const
+{
+    const int years = static_cast<int>(config_.years);
+    std::vector<double> by_year(years, 0.0);
+
+    const double hours = config_.years * kHoursPerYear;
+    FaultSampler sampler(config_.geom, config_.rates);
+    Rng rng(config_.seed + 1);
+
+    for (int c = 0; c < config_.channels; ++c) {
+        Rng chan_rng = rng.fork();
+        auto events = sampler.sampleLifetime(hours, chan_rng);
+
+        // Integrate the per-channel overhead step function.
+        for (int y = 1; y <= years; ++y) {
+            double horizon = y * kHoursPerYear;
+            double integral = 0.0;
+            double level = 0.0;
+            double raw = 0.0;
+            double prev_t = 0.0;
+            for (const FaultEvent &e : events) {
+                if (e.timeHours > horizon)
+                    break;
+                integral += level * (e.timeHours - prev_t);
+                raw += overhead[static_cast<int>(e.type)];
+                level = std::min(raw, cap);
+                prev_t = e.timeHours;
+            }
+            integral += level * (horizon - prev_t);
+            by_year[y - 1] += integral / horizon;
+        }
+    }
+    for (double &v : by_year)
+        v /= config_.channels;
+    return by_year;
+}
+
+double
+LifetimeMc::analyticAffectedFraction(double years) const
+{
+    // Independence approximation: each fault mode affects its page
+    // fraction with Poisson-arrival probability 1 - exp(-rate * t).
+    const double hours = years * kHoursPerYear;
+    const double devices = config_.geom.totalDevices();
+    double unaffected = 1.0;
+    for (FaultType t : allFaultTypes()) {
+        double rate = fitToPerHour(config_.rates[t]) * devices;
+        double p_any = 1.0 - std::exp(-rate * hours);
+        unaffected *= 1.0 - p_any * config_.geom.pageFraction(t);
+    }
+    return 1.0 - unaffected;
+}
+
+} // namespace arcc

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * SDC / DUE model implementation.
+ */
+
+#include "reliability/sdc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "ecc/reed_solomon.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Footprint scope of a fault type within its device. */
+struct Scope
+{
+    bool oneBank = false;
+    bool oneRow = false;
+    bool oneCol = false;
+};
+
+Scope
+scopeOf(FaultType t)
+{
+    switch (t) {
+      case FaultType::Device:
+      case FaultType::Lane:
+        return {false, false, false};
+      case FaultType::Bank:
+        return {true, false, false};
+      case FaultType::Column:
+        return {true, false, true};
+      case FaultType::Row:
+        return {true, true, false};
+      case FaultType::Word:
+      case FaultType::Bit:
+        return {true, true, true};
+    }
+    return {};
+}
+
+} // anonymous namespace
+
+SdcModelConfig
+SdcModelConfig::sccdcdMachine()
+{
+    SdcModelConfig c;
+    c.devices = 72;
+    c.groups = 2;          // two 36-device lockstep ranks.
+    c.devicesPerGroup = 36;
+    return c;
+}
+
+SdcModelConfig
+SdcModelConfig::arccMachine()
+{
+    SdcModelConfig c;
+    c.devices = 72;
+    c.groups = 4;          // 2 channels x 2 ranks of 18 devices.
+    c.devicesPerGroup = 18;
+    return c;
+}
+
+SdcModel::SdcModel(const SdcModelConfig &config) : config_(config)
+{
+    if (config_.groups * config_.devicesPerGroup != config_.devices)
+        fatal("SdcModel: %d groups x %d devices != %d total",
+              config_.groups, config_.devicesPerGroup, config_.devices);
+}
+
+double
+SdcModel::machineRate(FaultType t) const
+{
+    return fitToPerHour(config_.rates[t]) * config_.devices;
+}
+
+double
+SdcModel::pairOverlap(FaultType a, FaultType b) const
+{
+    // A lane fault blankets every group, bank, row and column: it
+    // intersects anything (worst-case corruption assumption).
+    if (a == FaultType::Lane || b == FaultType::Lane)
+        return 1.0;
+
+    Scope sa = scopeOf(a);
+    Scope sb = scopeOf(b);
+    double p = 1.0 / config_.groups;             // same codeword group.
+    p *= 1.0 - 1.0 / config_.devicesPerGroup;    // distinct devices.
+    if (sa.oneBank && sb.oneBank)
+        p /= config_.banks;
+    if (sa.oneRow && sb.oneRow)
+        p /= config_.rowsPerBank;
+    if (sa.oneCol && sb.oneCol)
+        p /= config_.colsPerBank;
+    return p;
+}
+
+double
+SdcModel::tripleOverlap(FaultType a, FaultType b, FaultType c) const
+{
+    std::vector<Scope> scopes;
+    for (FaultType t : {a, b, c}) {
+        if (t != FaultType::Lane)
+            scopes.push_back(scopeOf(t));
+    }
+    if (scopes.size() <= 1)
+        return 1.0;
+
+    double p = std::pow(1.0 / config_.groups,
+                        static_cast<double>(scopes.size()) - 1.0);
+    // All three faults must sit in distinct devices of the group.
+    p *= (1.0 - 1.0 / config_.devicesPerGroup) *
+         (1.0 - 2.0 / config_.devicesPerGroup);
+
+    auto dim = [&](auto member, double size) {
+        int k = 0;
+        for (const Scope &s : scopes)
+            if (s.*member)
+                ++k;
+        if (k >= 2)
+            p *= std::pow(1.0 / size, k - 1);
+    };
+    dim(&Scope::oneBank, config_.banks);
+    dim(&Scope::oneRow, config_.rowsPerBank);
+    dim(&Scope::oneCol, config_.colsPerBank);
+    return p;
+}
+
+double
+SdcModel::arccSdcEvents(double years) const
+{
+    const double life_hours = years * kHoursPerYear;
+    const double window = config_.scrubHours / 2.0;
+    double events = 0.0;
+    for (FaultType a : allFaultTypes()) {
+        for (FaultType b : allFaultTypes()) {
+            events += machineRate(a) * life_hours * machineRate(b) *
+                      window * pairOverlap(a, b);
+        }
+    }
+    return events * config_.aliasFactor;
+}
+
+double
+SdcModel::sccdcdSdcEvents(double years) const
+{
+    const double life_hours = years * kHoursPerYear;
+    const double window = config_.scrubHours / 2.0;
+    double events = 0.0;
+    for (FaultType a : allFaultTypes()) {
+        for (FaultType b : allFaultTypes()) {
+            for (FaultType c : allFaultTypes()) {
+                // a persists (arrives any time before b: L^2/2 term);
+                // c must land inside b's exposure window.
+                events += machineRate(a) * machineRate(b) *
+                          machineRate(c) * life_hours * life_hours /
+                          2.0 * window * tripleOverlap(a, b, c);
+            }
+        }
+    }
+    return events * config_.aliasFactor;
+}
+
+double
+SdcModel::arccSdcPer1000MachineYears(double years) const
+{
+    return arccSdcEvents(years) / years * 1000.0;
+}
+
+double
+SdcModel::sccdcdSdcPer1000MachineYears(double years) const
+{
+    return sccdcdSdcEvents(years) / years * 1000.0;
+}
+
+double
+SdcModel::dueEvents(double years) const
+{
+    const double life_hours = years * kHoursPerYear;
+    double events = 0.0;
+    for (FaultType a : allFaultTypes()) {
+        for (FaultType b : allFaultTypes()) {
+            events += machineRate(a) * machineRate(b) * life_hours *
+                      life_hours / 2.0 * pairOverlap(a, b);
+        }
+    }
+    return events;
+}
+
+double
+SdcModel::mcArccSdcEvents(double years, double boost, int trials,
+                          std::uint64_t seed) const
+{
+    // Concrete fault with a sampled footprint.
+    struct Concrete
+    {
+        double time;
+        FaultType type;
+        int group, device, bank, row, col;
+    };
+
+    SdcModelConfig boosted = config_;
+    boosted.rates = config_.rates.scaled(boost);
+
+    const double life_hours = years * kHoursPerYear;
+    Rng rng(seed);
+    std::uint64_t events = 0;
+
+    for (int trial = 0; trial < trials; ++trial) {
+        Rng trng = rng.fork();
+        std::vector<Concrete> faults;
+        for (FaultType t : allFaultTypes()) {
+            double rate =
+                fitToPerHour(boosted.rates[t]) * config_.devices;
+            std::uint64_t n = trng.poisson(rate * life_hours);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Concrete f;
+                f.time = trng.uniform() * life_hours;
+                f.type = t;
+                f.group = static_cast<int>(trng.below(config_.groups));
+                f.device = static_cast<int>(
+                    trng.below(config_.devicesPerGroup));
+                f.bank = static_cast<int>(trng.below(config_.banks));
+                f.row = static_cast<int>(trng.below(config_.rowsPerBank));
+                f.col = static_cast<int>(trng.below(config_.colsPerBank));
+                faults.push_back(f);
+            }
+        }
+        std::sort(faults.begin(), faults.end(),
+                  [](const Concrete &a, const Concrete &b) {
+                      return a.time < b.time;
+                  });
+
+        auto overlaps = [&](const Concrete &a, const Concrete &b) {
+            if (a.type == FaultType::Lane || b.type == FaultType::Lane)
+                return true;
+            if (a.group != b.group || a.device == b.device)
+                return false;
+            Scope sa = scopeOf(a.type);
+            Scope sb = scopeOf(b.type);
+            if (sa.oneBank && sb.oneBank && a.bank != b.bank)
+                return false;
+            if (sa.oneRow && sb.oneRow && a.row != b.row)
+                return false;
+            if (sa.oneCol && sb.oneCol && a.col != b.col)
+                return false;
+            return true;
+        };
+
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            // Fault i is detected (and its pages upgraded) at the end
+            // of the scrub period it arrives in.
+            double detect =
+                (std::floor(faults[i].time / config_.scrubHours) + 1.0) *
+                config_.scrubHours;
+            for (std::size_t j = i + 1; j < faults.size(); ++j) {
+                if (faults[j].time >= detect)
+                    break;
+                if (overlaps(faults[i], faults[j]))
+                    ++events;
+            }
+        }
+    }
+    return static_cast<double>(events) / trials;
+}
+
+double
+measureMiscorrectionRate(int n, int k, int maxCorrect, int numErrors,
+                         int trials, std::uint64_t seed)
+{
+    ReedSolomon rs(n, k);
+    Rng rng(seed);
+    std::vector<std::uint8_t> word(n), original(n);
+    int miscorrected = 0;
+    for (int t = 0; t < trials; ++t) {
+        for (int i = 0; i < k; ++i)
+            word[i] = static_cast<std::uint8_t>(rng.below(256));
+        rs.encode(word);
+        original = word;
+
+        // numErrors distinct positions, random non-zero magnitudes.
+        std::vector<int> pos;
+        while (static_cast<int>(pos.size()) < numErrors) {
+            int p = static_cast<int>(rng.below(n));
+            if (std::find(pos.begin(), pos.end(), p) == pos.end())
+                pos.push_back(p);
+        }
+        for (int p : pos)
+            word[p] ^= static_cast<std::uint8_t>(rng.range(1, 255));
+
+        DecodeResult res = rs.decode(word, maxCorrect);
+        bool silent_wrong =
+            (res.status == DecodeStatus::Clean && word != original) ||
+            (res.status == DecodeStatus::Corrected && word != original);
+        if (silent_wrong)
+            ++miscorrected;
+        word = original; // reuse the buffer next round.
+    }
+    return static_cast<double>(miscorrected) / trials;
+}
+
+} // namespace arcc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Edge-case tests for the functional memory: faults on check devices,
+ * lane-scope overlays, partial-bit stuck-ats, writes into groups with
+ * uncorrectable errors, and fault bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arcc/arcc_memory.hh"
+#include "arcc/scrubber.hh"
+#include "common/rng.hh"
+
+namespace arcc
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+randomLine(Rng &rng)
+{
+    std::vector<std::uint8_t> v(kLineBytes);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return v;
+}
+
+TEST(ArccMemoryEdge, FaultOnACheckDeviceIsStillCorrected)
+{
+    // Devices 16 and 17 of a relaxed rank hold the check symbols; a
+    // chipkill code must not care which device dies.
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Rng rng(1);
+    mem.setPageMode(0, PageMode::Relaxed);
+    auto data = randomLine(rng);
+    mem.write(0, data);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 0;
+    f.device = 17; // check device.
+    f.scope = FaultScope::Device;
+    f.kind = FaultKind::Corrupt;
+    mem.injectFault(f);
+
+    auto r = mem.read(0);
+    EXPECT_NE(r.status, DecodeStatus::Detected);
+    EXPECT_EQ(r.data, data);
+}
+
+TEST(ArccMemoryEdge, LaneScopeHitsEveryRankOfTheChannel)
+{
+    // A lane fault is a shared data-lane defect: the same device
+    // position fails in *both* ranks of the channel (Table 7.4 says
+    // both ranks upgrade).
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 0; // ignored for Lane scope.
+    f.device = 4;
+    f.scope = FaultScope::Lane;
+    f.kind = FaultKind::Corrupt;
+    mem.injectFault(f);
+
+    scrubber.scrub(mem);
+    // Every page has lines in channel 0, so every page is faulty.
+    EXPECT_DOUBLE_EQ(mem.pageTable().upgradedFraction(), 1.0);
+}
+
+TEST(ArccMemoryEdge, PartialBitMaskStuckAtOnlyFlipsMaskedBits)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    mem.setPageMode(0, PageMode::Relaxed);
+    std::vector<std::uint8_t> zeros(kLineBytes, 0);
+    mem.write(0, zeros);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 0;
+    f.device = 2;
+    f.scope = FaultScope::Cell;
+    f.bank = 0;
+    f.row = 0;
+    f.col = 0;
+    f.kind = FaultKind::StuckAt1;
+    f.mask = 0x01; // a single stuck bit per slice byte.
+    mem.injectFault(f);
+
+    auto r = mem.read(0);
+    ASSERT_EQ(r.status, DecodeStatus::Corrected);
+    EXPECT_EQ(r.data, zeros);
+    // The corruption magnitude was exactly the masked bit: verify via
+    // raw readback that unmasked bits stayed zero.
+    mem.rawFill(0, 0x00);
+    EXPECT_FALSE(mem.rawCheck(0, 0x00));
+    mem.rawFill(0, 0xfe); // stuck bit forces 0xff there.
+    EXPECT_FALSE(mem.rawCheck(0, 0xfe));
+}
+
+TEST(ArccMemoryEdge, WriteIntoDueGroupStillProducesValidCodewords)
+{
+    // Two dead devices make a relaxed group uncorrectable.  A write
+    // must still leave *stored* codewords valid (garbage-in respected,
+    // structure preserved) so later reads flag errors from the
+    // overlay, not from torn encoding.
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Rng rng(3);
+    std::uint64_t page = 0;
+    mem.setPageMode(page, PageMode::Relaxed);
+    mem.write(0, randomLine(rng));
+
+    for (int dev : {3, 8}) {
+        FunctionalFault f;
+        f.channel = 0;
+        f.rank = 0;
+        f.device = dev;
+        f.scope = FaultScope::Device;
+        f.kind = FaultKind::Corrupt;
+        mem.injectFault(f);
+    }
+    auto broken = mem.read(0);
+    EXPECT_NE(broken.status, DecodeStatus::Clean);
+
+    // Overwrite the line: the new write re-encodes everything.
+    auto fresh = randomLine(rng);
+    mem.write(0, fresh);
+    // Remove the faults: the stored bits must now decode cleanly to
+    // the new data (the write was not corrupted by the overlay).
+    mem.clearFaults();
+    auto r = mem.read(0);
+    EXPECT_EQ(r.status, DecodeStatus::Clean);
+    EXPECT_EQ(r.data, fresh);
+}
+
+TEST(ArccMemoryEdge, FaultBookkeeping)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    EXPECT_TRUE(mem.faults().empty());
+    FunctionalFault f;
+    f.channel = 1;
+    f.rank = 1;
+    f.device = 5;
+    mem.injectFault(f);
+    EXPECT_EQ(mem.faults().size(), 1u);
+    mem.clearFaults();
+    EXPECT_TRUE(mem.faults().empty());
+}
+
+TEST(ArccMemoryEdge, InjectFaultValidatesCoordinates)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    FunctionalFault f;
+    f.channel = 9; // out of range.
+    EXPECT_DEATH(mem.injectFault(f), "assertion");
+}
+
+TEST(ArccMemoryEdge, StatsCountReadsAndWrites)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Rng rng(4);
+    auto line = randomLine(rng);
+    mem.write(0, line);
+    mem.read(0);
+    mem.read(64);
+    EXPECT_EQ(mem.stats().writes, 1u);
+    EXPECT_EQ(mem.stats().reads, 2u);
+    EXPECT_GT(mem.stats().deviceWrites, 0u);
+    EXPECT_GT(mem.stats().deviceReads, 0u);
+}
+
+TEST(ArccMemoryEdge, SpareListIsIdempotent)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    mem.spareDevice(0, 0, 7);
+    mem.spareDevice(0, 0, 7);
+    EXPECT_EQ(mem.sparedDevices(0, 0).size(), 1u);
+    EXPECT_TRUE(mem.sparedDevices(1, 1).empty());
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG distributions, statistics,
+ * table rendering, unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        auto x = a.next();
+        EXPECT_EQ(x, b.next());
+        if (x != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(1);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(2);
+    Histogram h(0.0, 1.0, 10);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        h.add(rng.uniform());
+    for (std::size_t b = 0; b < h.size(); ++b)
+        EXPECT_NEAR(h.fraction(b), 0.1, 0.01) << "bin " << b;
+}
+
+TEST(Rng, ExponentialHasTheRightMean)
+{
+    Rng rng(3);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.exponential(0.25));
+    EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanAndSmallMeanBehaviour)
+{
+    Rng rng(4);
+    RunningStat small, large;
+    for (int i = 0; i < 50000; ++i) {
+        small.add(static_cast<double>(rng.poisson(0.02)));
+        large.add(static_cast<double>(rng.poisson(100.0)));
+    }
+    EXPECT_NEAR(small.mean(), 0.02, 0.005);
+    EXPECT_NEAR(large.mean(), 100.0, 0.5);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, GeometricMeanTracksParameter)
+{
+    Rng rng(5);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(rng.geometric(40.0)));
+    EXPECT_NEAR(s.mean(), 40.0, 2.0);
+    EXPECT_EQ(rng.geometric(0.5), 1u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(6);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.37);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.37, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentish)
+{
+    Rng parent(7);
+    Rng a = parent.fork();
+    Rng b = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream)
+{
+    Rng rng(8);
+    RunningStat all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian();
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsSane)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, EdgesAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0); // clamps to first bin.
+    h.add(100.0);  // clamps to last bin.
+    h.add(5.0);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.edge(4), 8.0);
+}
+
+TEST(MeanHelpers, MeanAndGeomean)
+{
+    std::vector<double> v = {1.0, 2.0, 4.0};
+    EXPECT_NEAR(meanOf(v), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(geomeanOf(v), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+}
+
+TEST(TextTable, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+    EXPECT_EQ(TextTable::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"a", "long-header"});
+    t.row({"xxxx", "1"});
+    // Render into a pipe-backed FILE to capture output.
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    t.print(tmp);
+    std::rewind(tmp);
+    char buf[256] = {0};
+    std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+    std::fclose(tmp);
+    std::string out(buf, n);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Units, FitConversions)
+{
+    // 1000 FIT = 1e-6 failures/hour = ~8.77e-3 per year.
+    EXPECT_DOUBLE_EQ(fitToPerHour(1000.0), 1e-6);
+    EXPECT_NEAR(fitToPerYear(1000.0), 8.766e-3, 1e-6);
+    EXPECT_EQ(kLinesPerPage, 64u);
+    EXPECT_EQ(kUpgradedLineBytes, 2 * kLineBytes);
+}
+
+} // namespace
+} // namespace arcc

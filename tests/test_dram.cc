@@ -1,0 +1,292 @@
+/**
+ * @file
+ * DRAM parameter, timing and power-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "dram/dram_params.hh"
+#include "dram/mem_controller.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(DramParams, Table71Configurations)
+{
+    MemoryConfig base = baselineConfig();
+    EXPECT_EQ(base.device.width, DeviceWidth::X4);
+    EXPECT_EQ(base.channels, 2);
+    EXPECT_EQ(base.ranksPerChannel, 1);
+    EXPECT_EQ(base.devicesPerRank, 36);
+    EXPECT_EQ(base.devicesPerAccess, 36);
+
+    MemoryConfig ar = arccConfig();
+    EXPECT_EQ(ar.device.width, DeviceWidth::X8);
+    EXPECT_EQ(ar.channels, 2);
+    EXPECT_EQ(ar.ranksPerChannel, 2);
+    EXPECT_EQ(ar.devicesPerRank, 18);
+    EXPECT_EQ(ar.devicesPerAccess, 18);
+
+    // Same total devices and the same 128-bit data bus per channel.
+    EXPECT_EQ(base.totalDevices(), ar.totalDevices());
+    EXPECT_EQ(base.dataBusBits(), 128);
+    EXPECT_EQ(ar.dataBusBits(), 128);
+}
+
+TEST(DramParams, StorageOverheadIs12Point5Percent)
+{
+    for (const MemoryConfig &c : {baselineConfig(), arccConfig()}) {
+        double overhead =
+            static_cast<double>(c.devicesPerRank -
+                                c.dataDevicesPerRank) /
+            c.dataDevicesPerRank;
+        EXPECT_DOUBLE_EQ(overhead, 0.125) << c.name;
+    }
+}
+
+TEST(DramParams, DeviceDensityMatchesGeometry)
+{
+    for (const DeviceParams &d : {ddr2_667_x4(), ddr2_667_x8()}) {
+        std::uint64_t bits = static_cast<std::uint64_t>(d.banks) *
+                             d.rowsPerBank * d.rowBytes * 8;
+        EXPECT_EQ(bits, static_cast<std::uint64_t>(d.densityMbit) *
+                            kMiB) << d.name;
+    }
+}
+
+TEST(DramParams, EnergiesArePositiveAndOrdered)
+{
+    for (const DeviceParams &d : {ddr2_667_x4(), ddr2_667_x8()}) {
+        EXPECT_GT(d.actPreEnergy(), 0.0);
+        EXPECT_GT(d.readBurstEnergy(), 0.0);
+        EXPECT_GT(d.writeBurstEnergy(), d.readBurstEnergy() * 0.5);
+        EXPECT_GT(d.refreshEnergy(), 0.0);
+        // Background power states are ordered: power-down < standby <
+        // active standby.
+        EXPECT_LT(d.pPowerDown(), d.pPrechargeStandby());
+        EXPECT_LT(d.pPrechargeStandby(), d.pActiveStandby());
+    }
+}
+
+TEST(DramParams, X8BurstEnergyExceedsX4)
+{
+    // Twice the DQ pins toggle.
+    EXPECT_GT(ddr2_667_x8().readBurstEnergy(),
+              ddr2_667_x4().readBurstEnergy());
+}
+
+// --- timing ------------------------------------------------------------
+
+TEST(MemChannel, IdleReadLatencyIsActPlusCasPlusBurst)
+{
+    MemoryConfig cfg = arccConfig();
+    ControllerConfig ctrl;
+    MemChannel ch(cfg, ctrl);
+    DramCoord coord{};
+    MemResponse r = ch.schedule(0.0, coord, false, 18);
+    const DeviceParams &d = cfg.device;
+    double expect =
+        (d.tRCD + d.clCycles + d.burstCycles()) * d.tCK;
+    EXPECT_DOUBLE_EQ(r.completion, expect);
+}
+
+TEST(MemChannel, SameBankBackToBackSerialisesOnTrc)
+{
+    MemoryConfig cfg = arccConfig();
+    MemChannel ch(cfg, ControllerConfig{});
+    DramCoord coord{};
+    MemResponse r1 = ch.schedule(0.0, coord, false, 18);
+    MemResponse r2 = ch.schedule(0.0, coord, false, 18);
+    const DeviceParams &d = cfg.device;
+    EXPECT_GE(r2.issueTime - r1.issueTime, d.tRC * d.tCK - 1e-9);
+}
+
+TEST(MemChannel, DifferentBanksOverlapUpToTheBus)
+{
+    MemoryConfig cfg = arccConfig();
+    MemChannel ch(cfg, ControllerConfig{});
+    DramCoord a{};
+    DramCoord b{};
+    b.bank = 1;
+    MemResponse r1 = ch.schedule(0.0, a, false, 18);
+    MemResponse r2 = ch.schedule(0.0, b, false, 18);
+    const DeviceParams &d = cfg.device;
+    // Bank-level parallelism: the second access completes one burst
+    // after the first, far sooner than a tRC turnaround.
+    EXPECT_LT(r2.completion - r1.completion,
+              d.tRC * d.tCK);
+    EXPECT_GE(r2.completion - r1.completion,
+              d.burstCycles() * d.tCK - 1e-9);
+}
+
+TEST(MemChannel, QueueBackpressureDelaysAdmission)
+{
+    MemoryConfig cfg = arccConfig();
+    ControllerConfig ctrl;
+    ctrl.queueDepth = 4;
+    MemChannel ch(cfg, ctrl);
+    DramCoord coord{};
+    double last = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        MemResponse r = ch.schedule(0.0, coord, false, 18);
+        last = r.completion;
+    }
+    // 16 same-bank requests at depth 4: admission must have pushed
+    // later requests well past 4 * tRC.
+    EXPECT_GT(last, 15 * cfg.device.tRC * cfg.device.tCK - 1e-9);
+}
+
+TEST(MemorySystem, PairedAccessTouchesBothChannelsInLockstep)
+{
+    MemorySystem mem(arccConfig());
+    double t_paired = mem.access(0.0, 0, false, true);
+    EXPECT_GT(t_paired, 0.0);
+    EXPECT_EQ(mem.accesses(), 2u); // one access in each channel.
+}
+
+TEST(MemorySystem, PairedCompletionNotEarlierThanUnpaired)
+{
+    MemorySystem a(arccConfig());
+    MemorySystem b(arccConfig());
+    double unpaired = a.access(0.0, 0, false, false);
+    double paired = b.access(0.0, 0, false, true);
+    EXPECT_GE(paired, unpaired - 1e-9);
+}
+
+TEST(MemorySystem, ArrivalOrderMonotonicityHolds)
+{
+    MemorySystem mem(arccConfig());
+    double prev = 0.0;
+    Rng rng(5);
+    double now = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        now += rng.uniform() * 10.0;
+        std::uint64_t addr =
+            rng.below(mem.map().capacity() / 64) * 64;
+        double done = mem.access(now, addr, rng.chance(0.3), false);
+        EXPECT_GE(done, now);
+        // Completions need not be monotonic across banks, but must
+        // never precede their arrival.
+        prev = done;
+        (void)prev;
+    }
+}
+
+// --- power ---------------------------------------------------------------
+
+TEST(MemorySystem, DynamicEnergyScalesWithDevicesPerAccess)
+{
+    MemorySystem base(baselineConfig());
+    MemorySystem ar(arccConfig());
+    // Identical request streams.
+    double t = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        base.access(t, static_cast<std::uint64_t>(i) * 64 * 257 % (1 << 28), false, false);
+        ar.access(t, static_cast<std::uint64_t>(i) * 64 * 257 % (1 << 28), false, false);
+        t += 60.0;
+    }
+    base.finalize(t);
+    ar.finalize(t);
+    // 36 vs 18 devices per access: ARCC dynamic energy must be well
+    // below the baseline's (not exactly half: x8 bursts cost more).
+    EXPECT_LT(ar.breakdown().dynamicNj,
+              0.65 * base.breakdown().dynamicNj);
+    EXPECT_GT(ar.breakdown().dynamicNj,
+              0.40 * base.breakdown().dynamicNj);
+}
+
+TEST(MemorySystem, BackgroundEnergyAccruesWithTime)
+{
+    MemorySystem mem(arccConfig());
+    mem.access(0.0, 0, false, false);
+    mem.finalize(1e6); // 1 ms idle tail.
+    PowerBreakdown p = mem.breakdown();
+    EXPECT_GT(p.backgroundNj, 0.0);
+    EXPECT_GT(p.refreshNj, 0.0);
+    EXPECT_GT(p.totalNj(), p.dynamicNj);
+}
+
+TEST(MemorySystem, PowerDownCutsIdleBackgroundPower)
+{
+    ControllerConfig with_pd;
+    with_pd.enablePowerDown = true;
+    ControllerConfig no_pd;
+    no_pd.enablePowerDown = false;
+
+    MemorySystem a(arccConfig(), MapPolicy::HiPerf, with_pd);
+    MemorySystem b(arccConfig(), MapPolicy::HiPerf, no_pd);
+    a.finalize(1e7);
+    b.finalize(1e7);
+    EXPECT_LT(a.breakdown().backgroundNj,
+              0.5 * b.breakdown().backgroundNj);
+}
+
+TEST(PowerBreakdown, AvgPowerIsEnergyOverTime)
+{
+    PowerBreakdown p;
+    p.dynamicNj = 500.0;
+    p.backgroundNj = 300.0;
+    p.refreshNj = 200.0;
+    EXPECT_DOUBLE_EQ(p.totalNj(), 1000.0);
+    EXPECT_DOUBLE_EQ(p.avgPowerMw(1e6), 1.0); // 1000 nJ / 1 ms = 1 mW.
+}
+
+
+TEST(MemChannel, WriteToReadTurnaroundAddsTwtr)
+{
+    MemoryConfig cfg = arccConfig();
+    MemChannel ch(cfg, ControllerConfig{});
+    const DeviceParams &d = cfg.device;
+    DramCoord a{};
+    DramCoord b{};
+    b.bank = 1;
+    MemResponse w = ch.schedule(0.0, a, /*is_write=*/true, 18);
+    MemResponse r = ch.schedule(0.0, b, /*is_write=*/false, 18);
+    // The read burst cannot start before the write burst plus tWTR.
+    double earliest = w.completion + d.tWTR * d.tCK +
+                      d.burstCycles() * d.tCK;
+    EXPECT_GE(r.completion, earliest - 1e-9);
+}
+
+TEST(MemChannel, FifoPartitionConstrainsPairedIssue)
+{
+    MemoryConfig cfg = arccConfig();
+    ControllerConfig ctrl;
+    ctrl.pairing = PairingPolicy::FifoPartition;
+    MemChannel ch(cfg, ctrl);
+    DramCoord busy{};
+    // Occupy the channel so lastIssue advances well past zero.
+    for (int i = 0; i < 4; ++i)
+        ch.schedule(0.0, busy, false, 18);
+    DramCoord other{};
+    other.bank = 5;
+    other.rank = 1;
+    // A paired request to an idle bank may not bypass earlier issues
+    // under strict FIFO; the pointer design may.
+    double fifo = ch.earliestIssue(0.0, other, /*paired=*/true);
+    double free = ch.earliestIssue(0.0, other, /*paired=*/false);
+    EXPECT_GT(fifo, free);
+}
+
+TEST(MemorySystem, PairedAccessFallsBackUnderBaseMap)
+{
+    // The Base map keeps adjacent lines in one channel: a paired
+    // access degrades to two sequential accesses instead of asserting.
+    MemorySystem mem(arccConfig(), MapPolicy::Base);
+    double done = mem.access(0.0, 0, false, /*paired=*/true);
+    EXPECT_GT(done, 0.0);
+    EXPECT_EQ(mem.accesses(), 2u);
+
+    MemorySystem lockstep(arccConfig(), MapPolicy::HiPerf);
+    double parallel = lockstep.access(0.0, 0, false, true);
+    EXPECT_GT(done, parallel)
+        << "without channel interleaving the pair serialises "
+           "(Section 4.1's requirement)";
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fault-model tests: rates, Table 7.4 page fractions, sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "faults/fault_model.hh"
+#include "faults/lifetime_mc.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(FaultRates, FieldStudyTotalsAreInThePaperRange)
+{
+    FaultRates r = FaultRates::fieldStudy();
+    EXPECT_GT(r.totalFit(), 30.0);
+    EXPECT_LT(r.totalFit(), 120.0);
+    // A 36-device DIMM's any-fault incidence per year should be of the
+    // order the paper quotes (2.95% [2] to 8% [1]); we land near the
+    // bottom of that range.
+    double per_dimm_year = fitToPerYear(r.totalFit()) * 36.0;
+    EXPECT_GT(per_dimm_year, 0.01);
+    EXPECT_LT(per_dimm_year, 0.08);
+}
+
+TEST(FaultRates, ScalingIsUniform)
+{
+    FaultRates r = FaultRates::fieldStudy();
+    FaultRates r4 = r.scaled(4.0);
+    for (FaultType t : allFaultTypes())
+        EXPECT_DOUBLE_EQ(r4[t], 4.0 * r[t]);
+    EXPECT_DOUBLE_EQ(r4.totalFit(), 4.0 * r.totalFit());
+}
+
+TEST(DomainGeometry, Table74UpgradeFractions)
+{
+    // The ARCC memory of Table 7.1: 2 ranks per channel-pair, 8 banks.
+    DomainGeometry g;
+    g.ranks = 2;
+    g.banksPerDevice = 8;
+    g.pages = 1048576;
+    g.pagesPerRow = 2;
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Lane), 1.0);
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Device), 1.0 / 2);
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Bank), 1.0 / 16);
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Column), 1.0 / 32);
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Row), 2.0 / 1048576);
+    EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Bit), 1.0 / 1048576);
+}
+
+TEST(FaultSampler, EventCountMatchesRates)
+{
+    DomainGeometry g;
+    FaultRates r = FaultRates::fieldStudy();
+    FaultSampler sampler(g, r);
+    Rng rng(5);
+    const double hours = 7 * kHoursPerYear;
+    double total = 0.0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        Rng tr = rng.fork();
+        total += static_cast<double>(
+            sampler.sampleLifetime(hours, tr).size());
+    }
+    double expected =
+        fitToPerHour(r.totalFit()) * g.totalDevices() * hours;
+    EXPECT_NEAR(total / trials, expected, expected * 0.15);
+}
+
+TEST(FaultSampler, EventsAreSortedAndInRange)
+{
+    DomainGeometry g;
+    FaultSampler sampler(g, FaultRates::fieldStudy().scaled(2000.0));
+    Rng rng(6);
+    const double hours = kHoursPerYear;
+    auto events = sampler.sampleLifetime(hours, rng);
+    ASSERT_GT(events.size(), 20u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_GE(events[i].timeHours, 0.0);
+        EXPECT_LE(events[i].timeHours, hours);
+        EXPECT_LT(events[i].rank, g.ranks);
+        EXPECT_LT(events[i].bank, g.banksPerDevice);
+        EXPECT_LT(events[i].device, g.devicesPerRank);
+        if (i > 0) {
+            EXPECT_GE(events[i].timeHours, events[i - 1].timeHours);
+        }
+    }
+}
+
+// --- lifetime Monte Carlo ----------------------------------------------
+
+TEST(LifetimeMc, AffectedFractionIsMonotoneAndMatchesAnalytic)
+{
+    LifetimeMcConfig cfg;
+    cfg.channels = 3000;
+    cfg.years = 7.0;
+    cfg.gridPerYear = 4;
+    LifetimeMc mc(cfg);
+    AffectedCurve curve = mc.affectedFraction();
+    ASSERT_EQ(curve.timeYears.size(), curve.avgFraction.size());
+    for (std::size_t i = 1; i < curve.avgFraction.size(); ++i)
+        EXPECT_GE(curve.avgFraction[i], curve.avgFraction[i - 1]);
+    double mc7 = curve.avgFraction.back();
+    double an7 = mc.analyticAffectedFraction(7.0);
+    EXPECT_NEAR(mc7, an7, an7 * 0.25 + 1e-4);
+    // "Just a few percent during most of the lifetime" (Chapter 3).
+    EXPECT_LT(mc7, 0.05);
+    EXPECT_GT(mc7, 0.001);
+}
+
+TEST(LifetimeMc, FourXRatesRoughlyQuadrupleTheFraction)
+{
+    LifetimeMcConfig cfg;
+    cfg.channels = 3000;
+    cfg.gridPerYear = 2;
+    LifetimeMc mc1(cfg);
+    cfg.rates = FaultRates::fieldStudy().scaled(4.0);
+    LifetimeMc mc4(cfg);
+    double f1 = mc1.affectedFraction().avgFraction.back();
+    double f4 = mc4.affectedFraction().avgFraction.back();
+    EXPECT_GT(f4, 2.5 * f1);
+    EXPECT_LT(f4, 4.5 * f1);
+}
+
+TEST(LifetimeMc, OverheadCurveGrowsAndRespectsCap)
+{
+    LifetimeMcConfig cfg;
+    cfg.channels = 2000;
+    // Extreme rates so the cap actually binds.
+    cfg.rates = FaultRates::fieldStudy().scaled(3000.0);
+    LifetimeMc mc(cfg);
+    PerTypeOverhead overhead{};
+    for (FaultType t : allFaultTypes())
+        overhead[static_cast<int>(t)] = 0.5;
+    auto by_year = mc.cumulativeOverheadByYear(overhead, 1.0);
+    ASSERT_EQ(by_year.size(), 7u);
+    for (std::size_t y = 1; y < by_year.size(); ++y)
+        EXPECT_GE(by_year[y], by_year[y - 1] - 1e-12);
+    for (double v : by_year)
+        EXPECT_LE(v, 1.0 + 1e-12);
+    EXPECT_GT(by_year.back(), 0.5);
+}
+
+TEST(LifetimeMc, ZeroOverheadFaultsCostNothing)
+{
+    LifetimeMcConfig cfg;
+    cfg.channels = 500;
+    LifetimeMc mc(cfg);
+    PerTypeOverhead overhead{};
+    auto by_year = mc.cumulativeOverheadByYear(overhead, 1.0);
+    for (double v : by_year)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LifetimeMc, DeterministicForAGivenSeed)
+{
+    LifetimeMcConfig cfg;
+    cfg.channels = 500;
+    cfg.gridPerYear = 2;
+    LifetimeMc a(cfg), b(cfg);
+    EXPECT_EQ(a.affectedFraction().avgFraction,
+              b.affectedFraction().avgFraction);
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * GF(2^8) field-axiom and table tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/gf256.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(GF256, TablesAreConsistent)
+{
+    const auto &exp = GF256::expTable();
+    const auto &log = GF256::logTable();
+    // alpha^0 == 1 and log(1) == 0.
+    EXPECT_EQ(exp[0], 1);
+    EXPECT_EQ(log[1], 0);
+    // exp and log are inverse bijections on the non-zero elements.
+    for (int i = 0; i < GF256::kGroupOrder; ++i)
+        EXPECT_EQ(log[exp[i]], i);
+}
+
+TEST(GF256, ExpTableCoversAllNonZeroElements)
+{
+    std::array<bool, 256> seen{};
+    for (int i = 0; i < GF256::kGroupOrder; ++i)
+        seen[GF256::expTable()[i]] = true;
+    EXPECT_FALSE(seen[0]);
+    for (int v = 1; v < 256; ++v)
+        EXPECT_TRUE(seen[v]) << "element " << v << " unreachable";
+}
+
+TEST(GF256, AddIsXor)
+{
+    EXPECT_EQ(GF256::add(0x53, 0xca), 0x53 ^ 0xca);
+    EXPECT_EQ(GF256::add(0xff, 0xff), 0);
+}
+
+TEST(GF256, MulIdentityAndZero)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+        EXPECT_EQ(GF256::mul(0, static_cast<std::uint8_t>(a)), 0);
+    }
+}
+
+TEST(GF256, MulMatchesCarrylessReference)
+{
+    // Reference: schoolbook carry-less multiply then reduce by 0x11d.
+    auto ref = [](std::uint8_t a, std::uint8_t b) {
+        std::uint16_t prod = 0;
+        for (int i = 0; i < 8; ++i)
+            if (b & (1 << i))
+                prod ^= static_cast<std::uint16_t>(a) << i;
+        for (int i = 15; i >= 8; --i)
+            if (prod & (1 << i))
+                prod ^= GF256::kPoly << (i - 8);
+        return static_cast<std::uint8_t>(prod);
+    };
+    Rng rng(7);
+    for (int t = 0; t < 4096; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.below(256));
+        auto b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(GF256::mul(a, b), ref(a, b))
+            << static_cast<int>(a) << " * " << static_cast<int>(b);
+    }
+}
+
+TEST(GF256, MulIsCommutativeAndAssociative)
+{
+    Rng rng(11);
+    for (int t = 0; t < 2048; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.below(256));
+        auto b = static_cast<std::uint8_t>(rng.below(256));
+        auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+        EXPECT_EQ(GF256::mul(GF256::mul(a, b), c),
+                  GF256::mul(a, GF256::mul(b, c)));
+    }
+}
+
+TEST(GF256, MulDistributesOverAdd)
+{
+    Rng rng(13);
+    for (int t = 0; t < 2048; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.below(256));
+        auto b = static_cast<std::uint8_t>(rng.below(256));
+        auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+                  GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+    }
+}
+
+TEST(GF256, InverseIsExactForAllNonZero)
+{
+    for (int a = 1; a < 256; ++a) {
+        std::uint8_t inv = GF256::inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1)
+            << "inv(" << a << ")";
+    }
+}
+
+TEST(GF256, DivisionInvertsMultiplication)
+{
+    Rng rng(17);
+    for (int t = 0; t < 2048; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.below(256));
+        auto b = static_cast<std::uint8_t>(rng.range(1, 255));
+        EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+    }
+}
+
+TEST(GF256, AlphaPowHandlesNegativeExponents)
+{
+    for (int e = -600; e <= 600; ++e) {
+        std::uint8_t direct = GF256::alphaPow(e);
+        // alpha^e * alpha^-e == 1.
+        EXPECT_EQ(GF256::mul(direct, GF256::alphaPow(-e)), 1);
+    }
+}
+
+TEST(GF256, PowMatchesRepeatedMul)
+{
+    Rng rng(19);
+    for (int t = 0; t < 512; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.range(1, 255));
+        int e = static_cast<int>(rng.below(16));
+        std::uint8_t expect = 1;
+        for (int i = 0; i < e; ++i)
+            expect = GF256::mul(expect, a);
+        EXPECT_EQ(GF256::pow(a, e), expect);
+    }
+    EXPECT_EQ(GF256::pow(0, 0), 1);
+    EXPECT_EQ(GF256::pow(0, 5), 0);
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * End-to-end integration tests: the full ARCC life cycle on the
+ * functional plane, and data-plane / reliability-plane cross-checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arcc/arcc_memory.hh"
+#include "arcc/scrubber.hh"
+#include "common/rng.hh"
+#include "faults/fault_model.hh"
+#include "reliability/sdc_model.hh"
+
+namespace arcc
+{
+namespace
+{
+
+/** Write a recognisable pattern into every line of the memory. */
+std::map<std::uint64_t, std::vector<std::uint8_t>>
+fillMemory(ArccMemory &mem, Rng &rng)
+{
+    std::map<std::uint64_t, std::vector<std::uint8_t>> golden;
+    for (std::uint64_t addr = 0; addr < mem.capacity();
+         addr += kLineBytes) {
+        std::vector<std::uint8_t> line(kLineBytes);
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        mem.write(addr, line);
+        golden[addr] = std::move(line);
+    }
+    return golden;
+}
+
+TEST(Integration, FullArccLifecyclePreservesEveryByte)
+{
+    // Boot -> fill -> relax -> run -> device fault -> scrub-upgrade ->
+    // continue -> every byte still correct.  This is the paper's whole
+    // mechanism end to end on real data.
+    FunctionalConfig cfg = FunctionalConfig::arccSmall();
+    cfg.rows = 4; // keep the walk quick: 32 pages.
+    ArccMemory mem(cfg);
+    Rng rng(21);
+    auto golden = fillMemory(mem, rng);
+
+    Scrubber scrubber;
+    ScrubReport boot = scrubber.bootScrub(mem);
+    EXPECT_EQ(boot.pagesRelaxed, mem.pageTable().pages());
+
+    // Life is good in relaxed mode: half the device touches.
+    for (auto &[addr, line] : golden) {
+        auto r = mem.read(addr);
+        ASSERT_EQ(r.status, DecodeStatus::Clean);
+        ASSERT_EQ(r.data, line);
+    }
+
+    // A device dies.
+    FunctionalFault f;
+    f.channel = 1;
+    f.rank = 0;
+    f.device = 13;
+    f.scope = FaultScope::Device;
+    f.kind = FaultKind::Corrupt;
+    mem.injectFault(f);
+
+    // Reads still work (single chipkill correct in relaxed mode) ...
+    for (auto &[addr, line] : golden) {
+        auto r = mem.read(addr);
+        ASSERT_NE(r.status, DecodeStatus::Detected) << addr;
+        ASSERT_EQ(r.data, line) << addr;
+    }
+
+    // ... and the next scrub upgrades exactly the affected rank.
+    ScrubReport rep = scrubber.scrub(mem);
+    EXPECT_GT(rep.pagesUpgraded, 0u);
+    EXPECT_NEAR(mem.pageTable().upgradedFraction(), 0.5, 0.02);
+
+    // All data intact after the upgrade, still corrected on the fly.
+    for (auto &[addr, line] : golden) {
+        auto r = mem.read(addr);
+        ASSERT_NE(r.status, DecodeStatus::Detected) << addr;
+        ASSERT_EQ(r.data, line) << addr;
+    }
+
+    // New writes to upgraded pages round-trip too.
+    std::vector<std::uint8_t> fresh(kLineBytes, 0x5a);
+    std::uint64_t upgraded_addr = 0;
+    bool found = false;
+    for (auto &[addr, line] : golden) {
+        if (mem.pageTable().mode(mem.pageOf(addr)) ==
+            PageMode::Upgraded) {
+            upgraded_addr = addr;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+    mem.write(upgraded_addr, fresh);
+    EXPECT_EQ(mem.read(upgraded_addr).data, fresh);
+}
+
+TEST(Integration, SecondFaultAfterUpgradeIsDetectedNotSilent)
+{
+    // The reliability story of Chapter 6: once the page is upgraded,
+    // a second overlapping device fault becomes a guaranteed DUE
+    // instead of potential silent corruption.
+    FunctionalConfig cfg = FunctionalConfig::arccSmall();
+    cfg.rows = 2;
+    ArccMemory mem(cfg);
+    Rng rng(22);
+    auto golden = fillMemory(mem, rng);
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    FunctionalFault f1;
+    f1.channel = 0;
+    f1.rank = 0;
+    f1.device = 2;
+    f1.scope = FaultScope::Device;
+    f1.kind = FaultKind::Corrupt;
+    mem.injectFault(f1);
+    scrubber.scrub(mem); // upgrade rank 0.
+
+    FunctionalFault f2 = f1;
+    f2.channel = 1;
+    f2.device = 6;
+    mem.injectFault(f2); // second fault, same rank, other channel.
+
+    // Upgraded pages: two bad symbols per RS(36,32) codeword -> DUE,
+    // never a silent wrong answer.
+    int dues = 0;
+    for (auto &[addr, line] : golden) {
+        if (mem.pageTable().mode(mem.pageOf(addr)) !=
+            PageMode::Upgraded)
+            continue;
+        auto r = mem.read(addr);
+        if (r.status == DecodeStatus::Detected)
+            ++dues;
+        else
+            EXPECT_EQ(r.data, line) << "silent corruption!";
+    }
+    EXPECT_GT(dues, 0);
+}
+
+TEST(Integration, ScrubberHealsTransientCorruption)
+{
+    // Soft errors (a one-off corruption of stored bits, no persistent
+    // overlay) are corrected in place by the scrub's read+write-back,
+    // and the page needs no upgrade afterwards... but ARCC upgrades it
+    // anyway (the scrubber cannot tell soft from hard) -- verify data
+    // integrity and the conservative upgrade.
+    FunctionalConfig cfg = FunctionalConfig::arccSmall();
+    cfg.rows = 2;
+    ArccMemory mem(cfg);
+    Rng rng(23);
+    auto golden = fillMemory(mem, rng);
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    // Flip stored bits directly: snapshot, corrupt one device slice,
+    // restore the rest -- emulate a transient upset at line 0.
+    auto snap = mem.rawSnapshot(0);
+    auto bad = snap;
+    bad[2] ^= 0x40; // one bit in device 0's slice.
+    mem.rawRestore(0, bad);
+
+    ScrubReport rep = scrubber.scrub(mem);
+    EXPECT_EQ(rep.errorsCorrected, 1u);
+    EXPECT_EQ(mem.read(0).data, golden[0]);
+    // A second scrub finds nothing: the write-back healed it.
+    ScrubReport rep2 = scrubber.scrub(mem);
+    EXPECT_EQ(rep2.errorsCorrected, 0u);
+    EXPECT_EQ(rep2.stuckAt1Found + rep2.stuckAt0Found, 0u);
+}
+
+TEST(Integration, LotEccLifecycle)
+{
+    // Chapter 5.2: ARCC over LOT-ECC, 9-device relaxed lines upgraded
+    // to 18-device double-chip-sparing lines.
+    FunctionalConfig cfg = FunctionalConfig::lotSmall();
+    cfg.rows = 2;
+    ArccMemory mem(cfg);
+    Rng rng(24);
+    auto golden = fillMemory(mem, rng);
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 1;
+    f.device = 5;
+    f.scope = FaultScope::Device;
+    f.kind = FaultKind::StuckAt0; // the guaranteed-detect fault class.
+    mem.injectFault(f);
+
+    for (auto &[addr, line] : golden) {
+        auto r = mem.read(addr);
+        ASSERT_NE(r.status, DecodeStatus::Detected);
+        ASSERT_EQ(r.data, line);
+    }
+    ScrubReport rep = scrubber.scrub(mem);
+    EXPECT_GT(rep.pagesUpgraded, 0u);
+    for (auto &[addr, line] : golden) {
+        auto r = mem.read(addr);
+        ASSERT_NE(r.status, DecodeStatus::Detected);
+        ASSERT_EQ(r.data, line);
+    }
+}
+
+TEST(Integration, AliasFactorTightensTheSdcModel)
+{
+    // Cross-plane: measure the RS(18,16) double-error miscorrection
+    // rate with the real codec and feed it to the reliability model.
+    double alias = measureMiscorrectionRate(18, 16, 1, 2, 2000, 31);
+    ASSERT_GT(alias, 0.0);
+    ASSERT_LT(alias, 0.2);
+
+    SdcModelConfig cfg = SdcModelConfig::arccMachine();
+    SdcModel conservative(cfg);
+    cfg.aliasFactor = alias;
+    SdcModel refined(cfg);
+    EXPECT_NEAR(refined.arccSdcEvents(7.0),
+                conservative.arccSdcEvents(7.0) * alias, 1e-12);
+}
+
+TEST(Integration, DevicesTouchedMatchesTable71Accounting)
+{
+    // The power story rests on 18 vs 36 device touches; check the
+    // functional plane agrees with Table 7.1's accounting exactly.
+    FunctionalConfig cfg = FunctionalConfig::arccSmall();
+    cfg.rows = 2;
+    ArccMemory mem(cfg);
+    Rng rng(25);
+    fillMemory(mem, rng);
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    auto before = mem.stats().deviceReads;
+    const int reads = 100;
+    for (int i = 0; i < reads; ++i)
+        mem.read((i * 7 % 32) * kLineBytes);
+    EXPECT_EQ(mem.stats().deviceReads - before,
+              static_cast<std::uint64_t>(reads) * 18);
+}
+
+} // namespace
+} // namespace arcc

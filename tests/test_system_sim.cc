@@ -1,0 +1,211 @@
+/**
+ * @file
+ * System-simulator tests: the fault-free ARCC vs baseline deltas and
+ * the upgraded-page effects that drive Figures 7.1-7.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/system_sim.hh"
+
+namespace arcc
+{
+namespace
+{
+
+SystemConfig
+quickConfig(const MemoryConfig &mem)
+{
+    SystemConfig cfg;
+    cfg.mem = mem;
+    cfg.instrsPerCore = 300'000;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(PageUpgradeOracle, ScenarioFractionsMatchTable74)
+{
+    MemoryConfig cfg = arccConfig();
+    using S = PageUpgradeOracle::Scenario;
+    EXPECT_DOUBLE_EQ(
+        PageUpgradeOracle::forScenario(S::Lane, cfg).expectedFraction(),
+        1.0);
+    EXPECT_DOUBLE_EQ(PageUpgradeOracle::forScenario(S::Device, cfg)
+                         .expectedFraction(),
+                     0.5);
+    EXPECT_DOUBLE_EQ(
+        PageUpgradeOracle::forScenario(S::Bank, cfg).expectedFraction(),
+        1.0 / 16);
+    EXPECT_DOUBLE_EQ(PageUpgradeOracle::forScenario(S::Column, cfg)
+                         .expectedFraction(),
+                     1.0 / 32);
+}
+
+TEST(PageUpgradeOracle, DecisionsArePageGranular)
+{
+    MemoryConfig cfg = arccConfig();
+    auto oracle = PageUpgradeOracle::forScenario(
+        PageUpgradeOracle::Scenario::Column, cfg);
+    Rng rng(1);
+    AddressMap map(cfg);
+    for (int t = 0; t < 300; ++t) {
+        std::uint64_t page = rng.below(map.capacity() / kPageBytes);
+        bool first = oracle.upgraded(page * kPageBytes);
+        for (int l = 1; l < 64; l += 7) {
+            EXPECT_EQ(oracle.upgraded(page * kPageBytes +
+                                      l * kLineBytes),
+                      first);
+        }
+    }
+}
+
+TEST(PageUpgradeOracle, StructuredFractionsMatchMeasured)
+{
+    MemoryConfig cfg = arccConfig();
+    AddressMap map(cfg);
+    Rng rng(2);
+    for (auto s : {PageUpgradeOracle::Scenario::Device,
+                   PageUpgradeOracle::Scenario::Bank,
+                   PageUpgradeOracle::Scenario::Column}) {
+        auto oracle = PageUpgradeOracle::forScenario(s, cfg);
+        int upgraded = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            std::uint64_t page = rng.below(map.capacity() / kPageBytes);
+            upgraded += oracle.upgraded(page * kPageBytes);
+        }
+        EXPECT_NEAR(static_cast<double>(upgraded) / n,
+                    oracle.expectedFraction(),
+                    0.01)
+            << PageUpgradeOracle::name(s);
+    }
+}
+
+TEST(PageUpgradeOracle, FractionOracleHitsItsTarget)
+{
+    MemoryConfig cfg = arccConfig();
+    auto oracle = PageUpgradeOracle::forFraction(0.2, cfg);
+    Rng rng(3);
+    int upgraded = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        upgraded += oracle.upgraded(rng.below(1ULL << 32));
+    EXPECT_NEAR(static_cast<double>(upgraded) / n, 0.2, 0.01);
+}
+
+TEST(SystemSim, RunsAllCoresToCompletion)
+{
+    SystemConfig cfg = quickConfig(arccConfig());
+    SimResult res = simulateMix(table73Mixes()[0], cfg, {});
+    ASSERT_EQ(res.cores.size(), 4u);
+    for (const auto &c : res.cores) {
+        EXPECT_GE(c.instrs, cfg.instrsPerCore);
+        EXPECT_GT(c.ipc, 0.0);
+        EXPECT_LE(c.ipc, 2.0);
+    }
+    EXPECT_GT(res.ipcSum, 0.0);
+    EXPECT_GT(res.avgPowerMw, 0.0);
+    EXPECT_GT(res.memReads, 0u);
+}
+
+TEST(SystemSim, ArccBeatsBaselinePowerFaultFree)
+{
+    // The headline of Figure 7.1: ~36% lower memory power with no
+    // faults.  Assert a healthy band rather than the point estimate.
+    SimResult base = simulateMix(table73Mixes()[1],
+                                 quickConfig(baselineConfig()), {});
+    SimResult ar =
+        simulateMix(table73Mixes()[1], quickConfig(arccConfig()), {});
+    double saving = 1.0 - ar.avgPowerMw / base.avgPowerMw;
+    EXPECT_GT(saving, 0.20);
+    EXPECT_LT(saving, 0.55);
+}
+
+TEST(SystemSim, ArccPerformanceIsNotWorseFaultFree)
+{
+    SimResult base = simulateMix(table73Mixes()[6],
+                                 quickConfig(baselineConfig()), {});
+    SimResult ar =
+        simulateMix(table73Mixes()[6], quickConfig(arccConfig()), {});
+    EXPECT_GT(ar.ipcSum, base.ipcSum * 0.98)
+        << "twice the ranks should not hurt performance";
+}
+
+TEST(SystemSim, UpgradedPagesRaisePower)
+{
+    SystemConfig cfg = quickConfig(arccConfig());
+    SimResult clean = simulateMix(table73Mixes()[1], cfg, {});
+    auto lane = PageUpgradeOracle::forScenario(
+        PageUpgradeOracle::Scenario::Lane, cfg.mem);
+    SimResult faulty = simulateMix(table73Mixes()[1], cfg, lane);
+    EXPECT_GT(faulty.avgPowerMw, clean.avgPowerMw * 1.02);
+    // Worst case bound: a lane fault cannot more than double power.
+    EXPECT_LT(faulty.avgPowerMw, clean.avgPowerMw * 2.05);
+}
+
+TEST(SystemSim, SmallerFaultsCostLessPower)
+{
+    SystemConfig cfg = quickConfig(arccConfig());
+    using S = PageUpgradeOracle::Scenario;
+    SimResult lane = simulateMix(
+        table73Mixes()[4], cfg,
+        PageUpgradeOracle::forScenario(S::Lane, cfg.mem));
+    SimResult column = simulateMix(
+        table73Mixes()[4], cfg,
+        PageUpgradeOracle::forScenario(S::Column, cfg.mem));
+    EXPECT_LT(column.avgPowerMw, lane.avgPowerMw);
+}
+
+TEST(SystemSim, SpatialWorkloadsKeepPrefetchBenefit)
+{
+    // A lane fault upgrades everything: every miss fetches 128B.  For
+    // a high-spatial-locality mix the sibling line is useful, so the
+    // LLC miss count must drop relative to the clean run.
+    SystemConfig cfg = quickConfig(arccConfig());
+    WorkloadMix streaming{"stream", {"libquantum", "swim", "leslie3d",
+                                     "lbm"}};
+    SimResult clean = simulateMix(streaming, cfg, {});
+    auto lane = PageUpgradeOracle::forScenario(
+        PageUpgradeOracle::Scenario::Lane, cfg.mem);
+    SimResult faulty = simulateMix(streaming, cfg, lane);
+    double clean_mr = clean.llcStats.missRate();
+    double faulty_mr = faulty.llcStats.missRate();
+    EXPECT_LT(faulty_mr, clean_mr * 0.85)
+        << "the paired fill must act as a prefetch";
+}
+
+TEST(SystemSim, ResultsAreDeterministic)
+{
+    SystemConfig cfg = quickConfig(arccConfig());
+    cfg.instrsPerCore = 100'000;
+    SimResult a = simulateMix(table73Mixes()[2], cfg, {});
+    SimResult b = simulateMix(table73Mixes()[2], cfg, {});
+    EXPECT_DOUBLE_EQ(a.ipcSum, b.ipcSum);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+}
+
+TEST(SystemSim, SectoredLlcAlsoRuns)
+{
+    SystemConfig cfg = quickConfig(arccConfig());
+    cfg.sectoredLlc = true;
+    cfg.instrsPerCore = 100'000;
+    SimResult res = simulateMix(table73Mixes()[0], cfg, {});
+    EXPECT_GT(res.ipcSum, 0.0);
+}
+
+TEST(SystemSim, PairingPolicyPointerIsNotSlower)
+{
+    SystemConfig fifo = quickConfig(arccConfig());
+    fifo.ctrl.pairing = PairingPolicy::FifoPartition;
+    fifo.instrsPerCore = 150'000;
+    SystemConfig ptr = fifo;
+    ptr.ctrl.pairing = PairingPolicy::Pointer;
+    auto lane = PageUpgradeOracle::forScenario(
+        PageUpgradeOracle::Scenario::Lane, fifo.mem);
+    SimResult rf = simulateMix(table73Mixes()[9], fifo, lane);
+    SimResult rp = simulateMix(table73Mixes()[9], ptr, lane);
+    EXPECT_GE(rp.ipcSum, rf.ipcSum * 0.98);
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace capture / replay tests, including an end-to-end run of the
+ * system simulator on a replayed trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/system_sim.hh"
+#include "cpu/trace.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(Trace, WriteParseRoundTrip)
+{
+    std::ostringstream out;
+    TraceWriter writer(out);
+    CoreWorkload wl(benchmarkProfile("swim"), 1ULL << 30, 0, 5);
+    std::vector<CoreWorkload::Access> original;
+    for (int i = 0; i < 500; ++i) {
+        auto a = wl.next();
+        original.push_back(a);
+        writer.append(a);
+    }
+    EXPECT_EQ(writer.count(), 500u);
+
+    std::istringstream in(out.str());
+    auto parsed = parseTrace(in);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].addr, original[i].addr) << i;
+        EXPECT_EQ(parsed[i].isWrite, original[i].isWrite) << i;
+        EXPECT_EQ(parsed[i].instrGap, original[i].instrGap) << i;
+    }
+}
+
+TEST(Trace, CommentsAndBlankLinesAreSkipped)
+{
+    std::istringstream in(
+        "# a comment\n\n1000 R 5\n# another\n2040 W 17\n");
+    auto parsed = parseTrace(in);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].addr, 0x1000u);
+    EXPECT_FALSE(parsed[0].isWrite);
+    EXPECT_EQ(parsed[0].instrGap, 5u);
+    EXPECT_EQ(parsed[1].addr, 0x2040u);
+    EXPECT_TRUE(parsed[1].isWrite);
+}
+
+TEST(Trace, MalformedLinesAreFatal)
+{
+    std::istringstream bad1("zzz\n");
+    EXPECT_EXIT(parseTrace(bad1), ::testing::ExitedWithCode(1),
+                "malformed");
+    std::istringstream bad2("1000 X 5\n");
+    EXPECT_EXIT(parseTrace(bad2), ::testing::ExitedWithCode(1),
+                "not R or W");
+}
+
+TEST(TraceReplay, LoopsAtTheEnd)
+{
+    std::vector<CoreWorkload::Access> v(3);
+    v[0].addr = 0;
+    v[1].addr = 64;
+    v[2].addr = 128;
+    TraceReplay replay(v);
+    for (int lap = 0; lap < 3; ++lap)
+        for (std::uint64_t a : {0ULL, 64ULL, 128ULL})
+            EXPECT_EQ(replay.next().addr, a);
+    EXPECT_EQ(replay.laps(), 3u);
+}
+
+TEST(TraceReplay, DrivesTheSystemSimulator)
+{
+    // Capture four synthetic streams, replay them, and check the
+    // simulator produces the same result as the live generators.
+    SystemConfig cfg;
+    cfg.mem = arccConfig();
+    cfg.instrsPerCore = 50'000;
+    cfg.seed = 77;
+
+    SimResult live = simulateMix(table73Mixes()[3], cfg, {});
+
+    AddressMap map(cfg.mem, cfg.mapPolicy);
+    std::vector<StreamSpec> streams;
+    for (int i = 0; i < 4; ++i) {
+        const BenchmarkProfile &prof =
+            benchmarkProfile(table73Mixes()[3].benchmarks[i]);
+        CoreWorkload wl(prof, map.capacity(), i,
+                        cfg.seed + 1000003ULL * i);
+        std::vector<CoreWorkload::Access> recorded;
+        std::uint64_t instrs = 0;
+        while (instrs < cfg.instrsPerCore + 1000) {
+            recorded.push_back(wl.next());
+            instrs += recorded.back().instrGap;
+        }
+        auto replay = std::make_shared<TraceReplay>(recorded);
+        StreamSpec spec;
+        spec.name = prof.name + "-trace";
+        spec.baseIpc = prof.baseIpc;
+        spec.next = [replay]() { return replay->next(); };
+        streams.push_back(std::move(spec));
+    }
+    SimResult replayed = simulateStreams(std::move(streams), cfg, {});
+    EXPECT_NEAR(replayed.ipcSum, live.ipcSum, 1e-9);
+    EXPECT_NEAR(replayed.avgPowerMw, live.avgPowerMw, 1e-9);
+}
+
+} // namespace
+} // namespace arcc
