@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/system_sim.hh"
 #include "faults/fault_model.hh"
@@ -70,22 +71,42 @@ struct ScenarioOverheads
  * Measure the mix-averaged overhead of each Table 7.4 scenario on the
  * ARCC configuration (methodology step 1 of Section 7.1).
  *
+ * The whole (mix x {clean, 4 scenarios}) grid is submitted to the
+ * SimEngine as one simulateMixBatch and reduced in mix order, so the
+ * averages are bit-identical at any thread count.
+ *
  * @param mixes how many of the 12 mixes to average (all by default).
  */
 inline ScenarioOverheads
 measureScenarioOverheads(int mixes = 12)
 {
-    SystemConfig cfg = systemConfig(arccConfig());
+    ARCC_ASSERT(mixes >= 1 &&
+                mixes <= static_cast<int>(table73Mixes().size()));
+    const SystemConfig cfg = systemConfig(arccConfig());
+    const std::size_t scenarios = faultScenarios().size();
+    // ScenarioOverheads and the sums below are fixed-size arrays.
+    ARCC_ASSERT(scenarios == 4);
+    const std::size_t per_mix = scenarios + 1; // clean job first.
+
+    std::vector<MixJob> jobs;
+    jobs.reserve(mixes * per_mix);
+    for (int m = 0; m < mixes; ++m) {
+        const WorkloadMix &mix = table73Mixes()[m];
+        jobs.push_back({mix, cfg, {}});
+        for (std::size_t s = 0; s < scenarios; ++s)
+            jobs.push_back({mix, cfg,
+                            PageUpgradeOracle::forScenario(
+                                faultScenarios()[s], cfg.mem)});
+    }
+    std::vector<SimResult> results = simulateMixBatch(jobs);
+
     ScenarioOverheads out;
     std::array<double, 4> power_sum{};
     std::array<double, 4> perf_sum{};
     for (int m = 0; m < mixes; ++m) {
-        const WorkloadMix &mix = table73Mixes()[m];
-        SimResult clean = simulateMix(mix, cfg, {});
-        for (std::size_t s = 0; s < faultScenarios().size(); ++s) {
-            auto oracle = PageUpgradeOracle::forScenario(
-                faultScenarios()[s], cfg.mem);
-            SimResult r = simulateMix(mix, cfg, oracle);
+        const SimResult &clean = results[m * per_mix];
+        for (std::size_t s = 0; s < scenarios; ++s) {
+            const SimResult &r = results[m * per_mix + 1 + s];
             power_sum[s] += r.avgPowerMw / clean.avgPowerMw - 1.0;
             perf_sum[s] += 1.0 - r.ipcSum / clean.ipcSum;
         }

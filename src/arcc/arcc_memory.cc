@@ -390,11 +390,49 @@ ArccMemory::read(std::uint64_t addr)
     std::uint64_t group = groupBytes(mode);
     std::uint64_t base = addr & ~(group - 1);
     ReadResult whole = readGroup(base, mode);
+    return extractLine(whole, addr, base);
+}
 
+std::vector<ReadResult>
+ArccMemory::accessBatch(std::span<const std::uint64_t> addrs)
+{
+    std::vector<ReadResult> results;
+    results.reserve(addrs.size());
+
+    // One-entry caches for the hot lookups a dense stream repeats:
+    // the page's mode and the decoded group.
+    std::uint64_t cached_page = ~0ULL;
+    PageMode mode = PageMode::Relaxed;
+    std::uint64_t cached_base = ~0ULL;
+    ReadResult whole;
+
+    for (std::uint64_t addr : addrs) {
+        ++stats_.reads;
+        std::uint64_t page = pageOf(addr);
+        if (page != cached_page) {
+            mode = pageTable_.mode(page);
+            cached_page = page;
+            cached_base = ~0ULL; // group size may have changed.
+        }
+        std::uint64_t group = groupBytes(mode);
+        std::uint64_t base = addr & ~(group - 1);
+        if (base != cached_base) {
+            whole = readGroup(base, mode);
+            cached_base = base;
+        }
+        results.push_back(extractLine(whole, addr, base));
+    }
+    return results;
+}
+
+ReadResult
+ArccMemory::extractLine(const ReadResult &whole, std::uint64_t addr,
+                        std::uint64_t group_base)
+{
     ReadResult res;
     res.status = whole.status;
     res.symbolsCorrected = whole.symbolsCorrected;
-    std::size_t off = static_cast<std::size_t>(addr - base) &
+    std::size_t off = static_cast<std::size_t>(addr - group_base) &
                       ~(kLineBytes - 1);
     res.data.assign(whole.data.begin() + off,
                     whole.data.begin() + off + kLineBytes);

@@ -153,6 +153,22 @@ class ArccMemory
     ReadResult read(std::uint64_t addr);
 
     /**
+     * Read a batch of 64B lines, returning one result per address in
+     * order.  Consecutive addresses that fall in the same ECC group
+     * reuse one gather + decode, and repeated hits to one page reuse
+     * its page-table lookup, so a sequential or group-local access
+     * stream costs a fraction of per-line read() calls.
+     *
+     * Returned results (data and per-line status) are identical to
+     * calling read() per address.  The decode-work counters
+     * (stats().deviceReads / corrected / dues) count actual decode
+     * operations and therefore come out *lower* than the per-line
+     * path's: that amortisation is the point of batching.
+     */
+    std::vector<ReadResult>
+    accessBatch(std::span<const std::uint64_t> addrs);
+
+    /**
      * Read the full ECC group containing addr (64B for a relaxed page,
      * 128B upgraded, 256B level-2).  The scrubber works at this
      * granularity.
@@ -246,6 +262,11 @@ class ArccMemory
 
     /** Read a full group, decoding; helper for read / RMW / convert. */
     ReadResult readGroup(std::uint64_t group_base, PageMode mode);
+
+    /** Slice one 64B line out of a decoded group's result. */
+    static ReadResult extractLine(const ReadResult &whole,
+                                  std::uint64_t addr,
+                                  std::uint64_t group_base);
 
     FunctionalConfig config_;
     std::unique_ptr<LineCodec> relaxedCodec_;

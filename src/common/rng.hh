@@ -31,6 +31,20 @@ class Rng
         reseed(seed);
     }
 
+    /**
+     * The splitmix64 finalizer: a cheap bijective mixer whose output
+     * is statistically unrelated to its input.  Shared by reseed(),
+     * stream(), and the deterministic per-page hashes elsewhere in
+     * the library.
+     */
+    static constexpr std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
     /** Re-initialise the state from a new seed. */
     void
     reseed(std::uint64_t seed)
@@ -39,10 +53,7 @@ class Rng
         std::uint64_t x = seed;
         for (int i = 0; i < 4; ++i) {
             x += 0x9e3779b97f4a7c15ULL;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-            state_[i] = z ^ (z >> 31);
+            state_[i] = mix64(x);
         }
         // A zero state would be absorbing; splitmix64 never produces
         // four zero outputs, but guard anyway.
@@ -157,11 +168,80 @@ class Rng
         return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
     }
 
+    /**
+     * Splittable stream constructor: an independent generator for
+     * stream `index` of the experiment seeded with `seed`.
+     *
+     * Unlike fork(), which consumes parent state and therefore makes
+     * stream c depend on the c-1 forks before it, stream() is a pure
+     * function of (seed, index).  Shards of a Monte Carlo can draw
+     * their per-trial generators in any order -- on any number of
+     * threads -- and still produce bit-identical histories.
+     */
+    static Rng
+    stream(std::uint64_t seed, std::uint64_t index)
+    {
+        // Finalise the (seed, index) pair with two rounds of the
+        // splitmix64 mixer so neighbouring indices land in unrelated
+        // regions of the seed space.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+        return Rng(mix64(mix64(z)));
+    }
+
+    /**
+     * Jump ahead 2^128 steps (the canonical xoshiro256** jump
+     * polynomial): carves the period into 2^128 non-overlapping
+     * subsequences, one jump() apart.
+     */
+    void
+    jump()
+    {
+        static constexpr std::uint64_t kJump[] = {
+            0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+        applyJump(kJump);
+    }
+
+    /**
+     * Jump ahead 2^192 steps; yields 2^64 starting points 2^128
+     * long-jump-free steps apart (sub-streams within a jump block).
+     */
+    void
+    longJump()
+    {
+        static constexpr std::uint64_t kLongJump[] = {
+            0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+        applyJump(kLongJump);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /** Polynomial-jump helper shared by jump() and longJump(). */
+    void
+    applyJump(const std::uint64_t (&poly)[4])
+    {
+        std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int i = 0; i < 4; ++i) {
+            for (int b = 0; b < 64; ++b) {
+                if (poly[i] & (1ULL << b)) {
+                    s0 ^= state_[0];
+                    s1 ^= state_[1];
+                    s2 ^= state_[2];
+                    s3 ^= state_[3];
+                }
+                next();
+            }
+        }
+        state_[0] = s0;
+        state_[1] = s1;
+        state_[2] = s2;
+        state_[3] = s3;
     }
 
     std::uint64_t state_[4];

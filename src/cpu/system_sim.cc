@@ -8,7 +8,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/units.hh"
+#include "engine/sim_engine.hh"
 
 namespace arcc
 {
@@ -85,10 +87,8 @@ PageUpgradeOracle::upgraded(std::uint64_t addr) const
       case Scenario::Fraction: {
         // Deterministic per-page hash (splitmix64 finaliser).
         std::uint64_t page = addr / kPageBytes;
-        std::uint64_t z = page + 0x9e3779b97f4a7c15ULL;
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        z ^= z >> 31;
+        std::uint64_t z =
+            Rng::mix64(page + 0x9e3779b97f4a7c15ULL);
         return (z >> 11) * 0x1.0p-53 < fraction_;
       }
     }
@@ -241,6 +241,19 @@ simulateStreams(std::vector<StreamSpec> streams,
     res.memReads = mem_reads;
     res.memWrites = mem_writes;
     return res;
+}
+
+std::vector<SimResult>
+simulateMixBatch(const std::vector<MixJob> &jobs, SimEngine *engine)
+{
+    if (!engine)
+        engine = &SimEngine::global();
+    std::vector<SimResult> results(jobs.size());
+    engine->forEachIndex(jobs.size(), [&](std::uint64_t j) {
+        const MixJob &job = jobs[j];
+        results[j] = simulateMix(job.mix, job.config, job.oracle);
+    });
+    return results;
 }
 
 SimResult

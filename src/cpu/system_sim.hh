@@ -27,6 +27,8 @@
 namespace arcc
 {
 
+class SimEngine;
+
 /**
  * Decides which pages run in the upgraded chipkill mode.  The decision
  * is page-granular and derived either from a structured device-level
@@ -118,6 +120,28 @@ struct SimResult
 /** Run one mix on one configuration. */
 SimResult simulateMix(const WorkloadMix &mix, const SystemConfig &config,
                       const PageUpgradeOracle &oracle);
+
+/** One self-contained simulation job for the batched entry point. */
+struct MixJob
+{
+    WorkloadMix mix;
+    SystemConfig config;
+    PageUpgradeOracle oracle;
+};
+
+/**
+ * Run a batch of independent mix simulations across the engine's
+ * workers (one job per shard), returning results in job order.  Every
+ * job is deterministic given its config, so the batch is bit-identical
+ * to running simulateMix in a loop, at any thread count.
+ *
+ * This is the entry point the bench scenario sweeps use: a figure's
+ * whole (mix x scenario) grid is submitted as one batch.
+ *
+ * @param engine  engine the jobs run on; nullptr uses the global one.
+ */
+std::vector<SimResult> simulateMixBatch(const std::vector<MixJob> &jobs,
+                                        SimEngine *engine = nullptr);
 
 /**
  * One core's access source for simulateStreams: a name (reporting), a

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SimEngine implementation.
+ */
+
+#include "engine/sim_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Thread count from ARCC_THREADS, or 0 when unset / invalid. */
+int
+envThreads()
+{
+    const char *env = std::getenv("ARCC_THREADS");
+    if (!env)
+        return 0;
+    int n = std::atoi(env);
+    if (n < 1) {
+        warn("ignoring ARCC_THREADS='%s' (need a positive integer)",
+             env);
+        return 0;
+    }
+    return n;
+}
+
+/** Completion state shared by one forEachShard call. */
+struct ShardGroup
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::uint64_t remaining;
+    std::exception_ptr error;
+    /** Set on first failure; later shards return without running. */
+    std::atomic<bool> cancelled{false};
+
+    explicit ShardGroup(std::uint64_t shards) : remaining(shards) {}
+
+    void
+    finishOne()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0)
+            done.notify_all();
+    }
+
+    void
+    fail(std::exception_ptr e)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error)
+                error = std::move(e);
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+    }
+};
+
+} // anonymous namespace
+
+SimEngine::SimEngine() : SimEngine(Options{}) {}
+
+SimEngine::SimEngine(const Options &options)
+    : pool_([&] {
+          int threads = options.threads;
+          if (threads == 0)
+              threads = envThreads();
+          if (threads == 0)
+              threads = ThreadPool::hardwareThreads();
+          ARCC_ASSERT(threads >= 1);
+          return threads - 1; // the calling thread is an executor too.
+      }())
+{
+}
+
+SimEngine &
+SimEngine::global()
+{
+    static SimEngine engine;
+    return engine;
+}
+
+void
+SimEngine::forEachShard(std::uint64_t items, std::uint64_t shardSize,
+                        const std::function<void(const ShardRange &)>
+                            &body) const
+{
+    ARCC_ASSERT(shardSize > 0);
+    const std::uint64_t shards = shardCount(items, shardSize);
+    if (shards == 0)
+        return;
+
+    ShardGroup group(shards);
+    auto runShard = [&body, &group](const ShardRange &range) {
+        if (!group.cancelled.load(std::memory_order_relaxed)) {
+            try {
+                body(range);
+            } catch (...) {
+                group.fail(std::current_exception());
+            }
+        }
+        group.finishOne();
+    };
+
+    // Queue every shard but the first; the calling thread takes shard
+    // 0 immediately (with 1 thread this degenerates to a plain loop in
+    // ascending shard order).
+    for (std::uint64_t s = 1; s < shards; ++s) {
+        ShardRange range{s * shardSize,
+                         std::min(items, (s + 1) * shardSize), s};
+        pool_.submit([runShard, range] { runShard(range); });
+    }
+    runShard({0, std::min(items, shardSize), 0});
+
+    // Work while waiting: execute queued shards (ours or a nested
+    // call's) instead of blocking the executor.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(group.mutex);
+            if (group.remaining == 0)
+                break;
+        }
+        if (!pool_.tryRunOneTask()) {
+            std::unique_lock<std::mutex> lock(group.mutex);
+            // Recheck under the lock; a worker may have finished the
+            // last shard between the queue probe and here.
+            if (group.remaining == 0)
+                break;
+            group.done.wait_for(lock,
+                                std::chrono::milliseconds(1));
+        }
+    }
+
+    if (group.error)
+        std::rethrow_exception(group.error);
+}
+
+} // namespace arcc

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "engine/sim_engine.hh"
 
 namespace arcc
 {
@@ -98,12 +99,24 @@ class AffectedTracker
     std::uint64_t smallPages_ = 0;
 };
 
+/** Elementwise-sum fold shared by the sharded reductions. */
+void
+addInto(std::vector<double> &acc, const std::vector<double> &partial)
+{
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] += partial[i];
+}
+
 } // anonymous namespace
 
-LifetimeMc::LifetimeMc(const LifetimeMcConfig &config) : config_(config)
+LifetimeMc::LifetimeMc(const LifetimeMcConfig &config, SimEngine *engine)
+    : config_(config),
+      engine_(engine ? engine : &SimEngine::global())
 {
     if (config_.channels <= 0)
         fatal("LifetimeMc: need at least one channel");
+    if (config_.shardChannels <= 0)
+        fatal("LifetimeMc: shardChannels must be positive");
 }
 
 AffectedCurve
@@ -113,30 +126,45 @@ LifetimeMc::affectedFraction() const
         static_cast<int>(config_.years * config_.gridPerYear);
     AffectedCurve curve;
     curve.timeYears.resize(points);
-    curve.avgFraction.assign(points, 0.0);
     for (int p = 0; p < points; ++p)
         curve.timeYears[p] =
             (p + 1) / static_cast<double>(config_.gridPerYear);
 
     const double hours = config_.years * kHoursPerYear;
     FaultSampler sampler(config_.geom, config_.rates);
-    Rng rng(config_.seed);
 
-    for (int c = 0; c < config_.channels; ++c) {
-        Rng chan_rng = rng.fork();
-        auto events = sampler.sampleLifetime(hours, chan_rng);
-        AffectedTracker tracker(config_.geom);
-        std::size_t next = 0;
-        for (int p = 0; p < points; ++p) {
-            double t_hours = curve.timeYears[p] * kHoursPerYear;
-            while (next < events.size() &&
-                   events[next].timeHours <= t_hours) {
-                tracker.apply(events[next]);
-                ++next;
+    // Shard the fleet: each shard sums its channels' curves locally,
+    // the engine folds the partials in shard order.  Channel c's
+    // generator is a pure function of (seed, c), so the histories are
+    // independent of sharding and thread count alike.
+    curve.avgFraction = engine_->mapReduce(
+        static_cast<std::uint64_t>(config_.channels),
+        static_cast<std::uint64_t>(config_.shardChannels),
+        std::vector<double>(points, 0.0),
+        [&](const ShardRange &shard) {
+            std::vector<double> partial(points, 0.0);
+            for (std::uint64_t c = shard.begin; c < shard.end; ++c) {
+                Rng chan_rng = Rng::stream(config_.seed, c);
+                auto events = sampler.sampleLifetime(hours, chan_rng);
+                AffectedTracker tracker(config_.geom);
+                std::size_t next = 0;
+                for (int p = 0; p < points; ++p) {
+                    double t_hours =
+                        curve.timeYears[p] * kHoursPerYear;
+                    while (next < events.size() &&
+                           events[next].timeHours <= t_hours) {
+                        tracker.apply(events[next]);
+                        ++next;
+                    }
+                    partial[p] += tracker.fraction();
+                }
             }
-            curve.avgFraction[p] += tracker.fraction();
-        }
-    }
+            return partial;
+        },
+        [](std::vector<double> &acc, std::vector<double> &&partial) {
+            addInto(acc, partial);
+        });
+
     for (double &f : curve.avgFraction)
         f /= config_.channels;
     return curve;
@@ -147,35 +175,47 @@ LifetimeMc::cumulativeOverheadByYear(const PerTypeOverhead &overhead,
                                      double cap) const
 {
     const int years = static_cast<int>(config_.years);
-    std::vector<double> by_year(years, 0.0);
-
     const double hours = config_.years * kHoursPerYear;
     FaultSampler sampler(config_.geom, config_.rates);
-    Rng rng(config_.seed + 1);
 
-    for (int c = 0; c < config_.channels; ++c) {
-        Rng chan_rng = rng.fork();
-        auto events = sampler.sampleLifetime(hours, chan_rng);
+    std::vector<double> by_year = engine_->mapReduce(
+        static_cast<std::uint64_t>(config_.channels),
+        static_cast<std::uint64_t>(config_.shardChannels),
+        std::vector<double>(years, 0.0),
+        [&](const ShardRange &shard) {
+            std::vector<double> partial(years, 0.0);
+            for (std::uint64_t c = shard.begin; c < shard.end; ++c) {
+                // seed + 1 keeps this experiment's streams disjoint
+                // from affectedFraction's, as the fork()-based code
+                // did before it.
+                Rng chan_rng = Rng::stream(config_.seed + 1, c);
+                auto events = sampler.sampleLifetime(hours, chan_rng);
 
-        // Integrate the per-channel overhead step function.
-        for (int y = 1; y <= years; ++y) {
-            double horizon = y * kHoursPerYear;
-            double integral = 0.0;
-            double level = 0.0;
-            double raw = 0.0;
-            double prev_t = 0.0;
-            for (const FaultEvent &e : events) {
-                if (e.timeHours > horizon)
-                    break;
-                integral += level * (e.timeHours - prev_t);
-                raw += overhead[static_cast<int>(e.type)];
-                level = std::min(raw, cap);
-                prev_t = e.timeHours;
+                // Integrate the per-channel overhead step function.
+                for (int y = 1; y <= years; ++y) {
+                    double horizon = y * kHoursPerYear;
+                    double integral = 0.0;
+                    double level = 0.0;
+                    double raw = 0.0;
+                    double prev_t = 0.0;
+                    for (const FaultEvent &e : events) {
+                        if (e.timeHours > horizon)
+                            break;
+                        integral += level * (e.timeHours - prev_t);
+                        raw += overhead[static_cast<int>(e.type)];
+                        level = std::min(raw, cap);
+                        prev_t = e.timeHours;
+                    }
+                    integral += level * (horizon - prev_t);
+                    partial[y - 1] += integral / horizon;
+                }
             }
-            integral += level * (horizon - prev_t);
-            by_year[y - 1] += integral / horizon;
-        }
-    }
+            return partial;
+        },
+        [](std::vector<double> &acc, std::vector<double> &&partial) {
+            addInto(acc, partial);
+        });
+
     for (double &v : by_year)
         v /= config_.channels;
     return by_year;

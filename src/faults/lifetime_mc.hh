@@ -27,6 +27,8 @@
 namespace arcc
 {
 
+class SimEngine;
+
 /** Fleet Monte Carlo parameters. */
 struct LifetimeMcConfig
 {
@@ -38,6 +40,13 @@ struct LifetimeMcConfig
     /** Time-grid points per year for the affected-fraction curve. */
     int gridPerYear = 12;
     std::uint64_t seed = 2013;
+    /**
+     * Channels per engine shard (SimEngine::kDefaultShard).  Results
+     * are bit-identical for any thread count at a given shard size
+     * (and change benignly with the shard size, which only reorders
+     * the floating-point reduction).
+     */
+    int shardChannels = 64;
 };
 
 /** Affected-fraction curve (Figure 3.1). */
@@ -51,12 +60,20 @@ struct AffectedCurve
 using PerTypeOverhead = std::array<double, kNumFaultTypes>;
 
 /**
- * The fleet Monte Carlo engine.  Deterministic for a given seed.
+ * The fleet Monte Carlo engine.  Deterministic for a given seed:
+ * channel c's fault history comes from Rng::stream(seed, c), and the
+ * fleet reduction folds per-shard partials in shard order, so the
+ * curves are bit-identical whether the SimEngine runs 1 thread or 64.
  */
 class LifetimeMc
 {
   public:
-    explicit LifetimeMc(const LifetimeMcConfig &config);
+    /**
+     * @param engine  engine the channel shards run on; nullptr uses
+     *                SimEngine::global().
+     */
+    explicit LifetimeMc(const LifetimeMcConfig &config,
+                        SimEngine *engine = nullptr);
 
     /**
      * Figure 3.1: fleet-average fraction of pages affected by at least
@@ -87,6 +104,7 @@ class LifetimeMc
 
   private:
     LifetimeMcConfig config_;
+    SimEngine *engine_;
 };
 
 } // namespace arcc
