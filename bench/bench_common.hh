@@ -12,13 +12,17 @@
 #define ARCC_BENCH_BENCH_COMMON_HH
 
 #include <array>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/system_sim.hh"
+#include "engine/sim_engine.hh"
 #include "faults/fault_model.hh"
 #include "faults/lifetime_mc.hh"
 
@@ -32,6 +36,42 @@ instrBudget()
     if (const char *env = std::getenv("ARCC_BENCH_INSTRS"))
         return std::strtoull(env, nullptr, 10);
     return 1'000'000;
+}
+
+/** Pre-format a counter / double for a jsonRow value. */
+inline std::string
+jsonNum(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/**
+ * Emit one machine-readable JSON line alongside the human tables.
+ *
+ * Every row carries the executor count of the global engine
+ * (ARCC_THREADS / the hardware).  CI's 1-vs-N-thread diff normalises
+ * the "threads" field and requires every other value to be
+ * bit-identical -- the bench-level enforcement of the engine's
+ * determinism contract.
+ */
+inline void
+jsonRow(const std::string &bench,
+        const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    std::string out = "{\"bench\":\"" + bench + "\",\"threads\":" +
+                      std::to_string(SimEngine::global().threads());
+    for (const auto &[key, value] : fields)
+        out += ",\"" + key + "\":" + value;
+    out += "}";
+    std::printf("%s\n", out.c_str());
 }
 
 /** Standard simulation config for a memory configuration. */

@@ -5,11 +5,18 @@
  * channel; 2.4s per six-pass scrub; 0.0167% of bandwidth at one scrub
  * every four hours) and demonstrates the functional scrubber's work on
  * a small memory with injected faults.
+ *
+ * The functional demonstration runs on the engine-sharded
+ * Scrubber::scrubParallel path, and every table is echoed as a JSON
+ * row carrying the executor count: CI runs this bench at 1 and N
+ * threads and diffs the rows (threads field normalised), which is how
+ * the parallel scrubber's determinism is enforced end to end.
  */
 
 #include <cstdio>
 
 #include "arcc/scrubber.hh"
+#include "bench_common.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 
@@ -35,11 +42,17 @@ main()
     t.row({"Bandwidth at 1 scrub / 4 h", TextTable::pct(frac, 4),
            "0.0167%"});
     t.print();
+    bench::jsonRow("scrub_overhead_model",
+                   {{"passSeconds", bench::jsonNum(pass)},
+                    {"scrubSeconds", bench::jsonNum(scrub)},
+                    {"bandwidthFraction", bench::jsonNum(frac)}});
 
     // Functional demonstration: scrub a small memory with one device
-    // fault and a hidden stuck-at fault.
+    // fault and a hidden stuck-at fault, on the sharded sweep.
     std::printf("\nFunctional scrub of a 512KB ARCC memory with one "
-                "corrupt device and one hidden stuck-at cell:\n");
+                "corrupt device and one hidden stuck-at cell\n"
+                "(Scrubber::scrubParallel on %d executor(s)):\n",
+                SimEngine::global().threads());
     ArccMemory mem(FunctionalConfig::arccSmall());
     Rng rng(99);
     for (std::uint64_t addr = 0; addr < mem.capacity();
@@ -50,7 +63,7 @@ main()
         mem.write(addr, line);
     }
     Scrubber scrubber;
-    scrubber.bootScrub(mem);
+    scrubber.bootScrubParallel(mem);
 
     FunctionalFault dead;
     dead.channel = 0;
@@ -70,7 +83,8 @@ main()
     stuck.kind = FaultKind::StuckAt1;
     mem.injectFault(stuck);
 
-    ScrubReport rep = scrubber.scrub(mem);
+    ScrubReport rep = scrubber.scrubParallel(mem);
+    double upgraded = mem.pageTable().upgradedFraction();
     TextTable s;
     s.header({"Scrub statistic", "Value"});
     s.row({"Lines scrubbed", std::to_string(rep.linesScrubbed)});
@@ -80,8 +94,19 @@ main()
     s.row({"Faulty pages found",
            std::to_string(rep.faultyPages.size())});
     s.row({"Pages upgraded", std::to_string(rep.pagesUpgraded)});
-    s.row({"Upgraded fraction",
-           TextTable::pct(mem.pageTable().upgradedFraction(), 2)});
+    s.row({"Upgraded fraction", TextTable::pct(upgraded, 2)});
     s.print();
+    bench::jsonRow(
+        "scrub_overhead_functional",
+        {{"linesScrubbed", bench::jsonNum(rep.linesScrubbed)},
+         {"errorsCorrected", bench::jsonNum(rep.errorsCorrected)},
+         {"duesFound", bench::jsonNum(rep.duesFound)},
+         {"stuckAt1Found", bench::jsonNum(rep.stuckAt1Found)},
+         {"stuckAt0Found", bench::jsonNum(rep.stuckAt0Found)},
+         {"faultyPages",
+          bench::jsonNum(
+              static_cast<std::uint64_t>(rep.faultyPages.size()))},
+         {"pagesUpgraded", bench::jsonNum(rep.pagesUpgraded)},
+         {"upgradedFraction", bench::jsonNum(upgraded)}});
     return 0;
 }

@@ -363,7 +363,8 @@ ArccMemory::erasedFor(std::uint64_t group_base, PageMode mode) const
 }
 
 ReadResult
-ArccMemory::readGroup(std::uint64_t group_base, PageMode mode)
+ArccMemory::readGroup(std::uint64_t group_base, PageMode mode,
+                      MemoryStats &stats)
 {
     const LineCodec &codec = codecFor(mode);
     DeviceSlices slices = gatherGroup(group_base, mode);
@@ -374,11 +375,11 @@ ArccMemory::readGroup(std::uint64_t group_base, PageMode mode)
     DecodeResult dec = codec.decode(slices, res.data, erased);
     res.status = dec.status;
     res.symbolsCorrected = dec.symbolsCorrected;
-    stats_.deviceReads += codec.devices();
+    stats.deviceReads += codec.devices();
     if (dec.status == DecodeStatus::Corrected)
-        stats_.corrected += dec.symbolsCorrected;
+        stats.corrected += dec.symbolsCorrected;
     if (dec.status == DecodeStatus::Detected)
-        ++stats_.dues;
+        ++stats.dues;
     return res;
 }
 
@@ -389,12 +390,19 @@ ArccMemory::read(std::uint64_t addr)
     PageMode mode = pageTable_.mode(pageOf(addr));
     std::uint64_t group = groupBytes(mode);
     std::uint64_t base = addr & ~(group - 1);
-    ReadResult whole = readGroup(base, mode);
+    ReadResult whole = readGroup(base, mode, stats_);
     return extractLine(whole, addr, base);
 }
 
 std::vector<ReadResult>
 ArccMemory::accessBatch(std::span<const std::uint64_t> addrs)
+{
+    return accessBatch(addrs, stats_);
+}
+
+std::vector<ReadResult>
+ArccMemory::accessBatch(std::span<const std::uint64_t> addrs,
+                        MemoryStats &stats)
 {
     std::vector<ReadResult> results;
     results.reserve(addrs.size());
@@ -407,7 +415,7 @@ ArccMemory::accessBatch(std::span<const std::uint64_t> addrs)
     ReadResult whole;
 
     for (std::uint64_t addr : addrs) {
-        ++stats_.reads;
+        ++stats.reads;
         std::uint64_t page = pageOf(addr);
         if (page != cached_page) {
             mode = pageTable_.mode(page);
@@ -417,7 +425,7 @@ ArccMemory::accessBatch(std::span<const std::uint64_t> addrs)
         std::uint64_t group = groupBytes(mode);
         std::uint64_t base = addr & ~(group - 1);
         if (base != cached_base) {
-            whole = readGroup(base, mode);
+            whole = readGroup(base, mode, stats);
             cached_base = base;
         }
         results.push_back(extractLine(whole, addr, base));
@@ -445,12 +453,20 @@ ArccMemory::readWholeGroup(std::uint64_t addr)
     ++stats_.reads;
     PageMode mode = pageTable_.mode(pageOf(addr));
     std::uint64_t base = addr & ~(groupBytes(mode) - 1);
-    return readGroup(base, mode);
+    return readGroup(base, mode, stats_);
 }
 
 void
 ArccMemory::writeGroup(std::uint64_t addr,
                        std::span<const std::uint8_t> data)
+{
+    writeGroup(addr, data, stats_);
+}
+
+void
+ArccMemory::writeGroup(std::uint64_t addr,
+                       std::span<const std::uint8_t> data,
+                       MemoryStats &stats)
 {
     PageMode mode = pageTable_.mode(pageOf(addr));
     const LineCodec &codec = codecFor(mode);
@@ -459,8 +475,8 @@ ArccMemory::writeGroup(std::uint64_t addr,
     std::uint64_t base = addr & ~(groupBytes(mode) - 1);
     DeviceSlices slices = codec.encode(data);
     storeGroup(base, mode, slices);
-    ++stats_.writes;
-    stats_.deviceWrites += codec.devices();
+    ++stats.writes;
+    stats.deviceWrites += codec.devices();
 }
 
 void
@@ -480,7 +496,7 @@ ArccMemory::write(std::uint64_t addr, std::span<const std::uint8_t> data)
         // Read-modify-write: both (all) sub-lines of the group share
         // check symbols, so the whole group is re-encoded (this is why
         // the LLC evicts upgraded sub-lines together, Section 4.2.3).
-        ReadResult whole = readGroup(base, mode);
+        ReadResult whole = readGroup(base, mode, stats_);
         buf = std::move(whole.data);
         std::size_t off = static_cast<std::size_t>(addr - base) &
                           ~(kLineBytes - 1);
@@ -509,7 +525,7 @@ ArccMemory::setPageMode(std::uint64_t page, PageMode mode)
     std::vector<std::uint8_t> content(kPageBytes);
     std::uint64_t old_group = groupBytes(old);
     for (std::uint64_t off = 0; off < kPageBytes; off += old_group) {
-        ReadResult r = readGroup(page_base + off, old);
+        ReadResult r = readGroup(page_base + off, old, stats_);
         std::copy(r.data.begin(), r.data.end(),
                   content.begin() + off);
     }

@@ -135,6 +135,19 @@ struct MemoryStats
     std::uint64_t deviceWrites = 0; ///< device touches on writes.
     std::uint64_t corrected = 0;
     std::uint64_t dues = 0;
+
+    /** Accumulate a delta (shard-order merge of parallel sweeps). */
+    MemoryStats &
+    operator+=(const MemoryStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        deviceReads += o.deviceReads;
+        deviceWrites += o.deviceWrites;
+        corrected += o.corrected;
+        dues += o.dues;
+        return *this;
+    }
 };
 
 /**
@@ -182,6 +195,31 @@ class ArccMemory
      */
     void writeGroup(std::uint64_t addr,
                     std::span<const std::uint8_t> data);
+
+    // ----- stats-sink variants (parallel sweeps) ----------------------
+    //
+    // These perform the same accesses but accumulate the decode-work
+    // counters into a caller-owned MemoryStats instead of the shared
+    // stats() member.  Provided the address ranges of concurrent
+    // callers are disjoint (the scrubber shards by page), they are
+    // safe to call from several threads at once: storage bytes of
+    // distinct addresses never alias, the page table and fault list
+    // are only read, and the only shared-mutable state -- stats() --
+    // is not touched.  Fold the deltas back in with addStats() on the
+    // calling thread, in shard order, when the sweep completes.
+
+    /** accessBatch with an explicit stats sink. */
+    std::vector<ReadResult>
+    accessBatch(std::span<const std::uint64_t> addrs,
+                MemoryStats &stats);
+
+    /** writeGroup with an explicit stats sink. */
+    void writeGroup(std::uint64_t addr,
+                    std::span<const std::uint8_t> data,
+                    MemoryStats &stats);
+
+    /** Fold a parallel sweep's stats delta into stats(). */
+    void addStats(const MemoryStats &delta) { stats_ += delta; }
 
     // ----- fault injection --------------------------------------------
     void injectFault(const FunctionalFault &fault);
@@ -260,8 +298,10 @@ class ArccMemory
     void applyOverlay(std::span<std::uint8_t> bytes, int channel,
                       int rank, int device, const Loc &loc) const;
 
-    /** Read a full group, decoding; helper for read / RMW / convert. */
-    ReadResult readGroup(std::uint64_t group_base, PageMode mode);
+    /** Read a full group, decoding; helper for read / RMW / convert.
+     *  Decode-work counters land in `stats` (usually stats_). */
+    ReadResult readGroup(std::uint64_t group_base, PageMode mode,
+                         MemoryStats &stats);
 
     /** Slice one 64B line out of a decoded group's result. */
     static ReadResult extractLine(const ReadResult &whole,

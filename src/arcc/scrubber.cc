@@ -1,6 +1,19 @@
 /**
  * @file
  * Scrubber implementation.
+ *
+ * Two sweeps share one set of semantics:
+ *
+ *  - scrub() walks the memory group by group on the calling thread
+ *    (the reference path);
+ *  - scrubParallel() shards the page range across the SimEngine, runs
+ *    each shard's read / write-0 / write-1 / restore loop through
+ *    ArccMemory::accessBatch() with a private stats sink, and merges
+ *    the per-shard reports in shard order.
+ *
+ * Both end with the same ordered page-mode transition pass, so the
+ * reports they produce are bit-identical to each other and across
+ * thread counts.
  */
 
 #include "arcc/scrubber.hh"
@@ -8,9 +21,24 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "engine/sim_engine.hh"
 
 namespace arcc
 {
+
+void
+ScrubReport::merge(const ScrubReport &o)
+{
+    linesScrubbed += o.linesScrubbed;
+    errorsCorrected += o.errorsCorrected;
+    duesFound += o.duesFound;
+    stuckAt1Found += o.stuckAt1Found;
+    stuckAt0Found += o.stuckAt0Found;
+    faultyPages.insert(faultyPages.end(), o.faultyPages.begin(),
+                       o.faultyPages.end());
+    pagesUpgraded += o.pagesUpgraded;
+    pagesRelaxed += o.pagesRelaxed;
+}
 
 ScrubReport
 Scrubber::scrub(ArccMemory &memory) const
@@ -71,8 +99,137 @@ Scrubber::scrub(ArccMemory &memory) const
         }
     }
 
+    applyTransitions(memory, faulty, report);
+    return report;
+}
+
+void
+Scrubber::sweepPage(ArccMemory &memory, std::uint64_t page,
+                    ScrubReport &report, MemoryStats &stats) const
+{
+    PageMode mode = memory.pageTable().mode(page);
+    const std::uint64_t group = memory.groupBytes(mode);
+    const std::uint64_t base = page * kPageBytes;
+    const std::uint64_t groups = kPageBytes / group;
+    const std::uint64_t lines_per_group = group / kLineBytes;
+
+    // Raw snapshots first: uncorrectable groups must get their
+    // original bits back in step 4 (reads do not mutate, so taking
+    // them up front is equivalent to the serial order).
+    std::vector<std::vector<std::uint8_t>> snaps(groups);
+    for (std::uint64_t g = 0; g < groups; ++g)
+        snaps[g] = memory.rawSnapshot(base + g * group);
+
+    // Step 1 for the whole page in one batch: one page-table lookup
+    // and one decode per group instead of one of each per call.
+    std::vector<std::uint64_t> addrs(kLinesPerPage);
+    for (std::uint64_t i = 0; i < kLinesPerPage; ++i)
+        addrs[i] = base + i * kLineBytes;
+    std::vector<ReadResult> lines = memory.accessBatch(addrs, stats);
+
+    bool page_bad = false;
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        std::uint64_t addr = base + g * group;
+        ++report.linesScrubbed;
+
+        // Every line of a group carries the group's decode outcome;
+        // count it once, off the first line.
+        const ReadResult &first = lines[g * lines_per_group];
+        if (first.status == DecodeStatus::Corrected) {
+            report.errorsCorrected += first.symbolsCorrected;
+            page_bad = true;
+        } else if (first.status == DecodeStatus::Detected) {
+            ++report.duesFound;
+            page_bad = true;
+        }
+
+        if (config_.testPatterns) {
+            // Step 2: all-0 pattern; surviving 1s = stuck-at-1.
+            memory.rawFill(addr, 0x00);
+            if (!memory.rawCheck(addr, 0x00)) {
+                ++report.stuckAt1Found;
+                page_bad = true;
+            }
+            // Step 3: all-1 pattern; surviving 0s = stuck-at-0.
+            memory.rawFill(addr, 0xff);
+            if (!memory.rawCheck(addr, 0xff)) {
+                ++report.stuckAt0Found;
+                page_bad = true;
+            }
+        }
+
+        // Step 4: restore, reassembling the group's corrected data
+        // from its per-line batch results.
+        if (first.status == DecodeStatus::Detected) {
+            memory.rawRestore(addr, snaps[g]);
+        } else {
+            std::vector<std::uint8_t> data;
+            data.reserve(group);
+            for (std::uint64_t l = 0; l < lines_per_group; ++l) {
+                const ReadResult &r = lines[g * lines_per_group + l];
+                data.insert(data.end(), r.data.begin(), r.data.end());
+            }
+            memory.writeGroup(addr, data, stats);
+        }
+    }
+
+    if (page_bad)
+        report.faultyPages.push_back(page);
+}
+
+ScrubReport
+Scrubber::scrubParallel(ArccMemory &memory, SimEngine *engine) const
+{
+    if (!engine)
+        engine = &SimEngine::global();
+    const std::uint64_t pages = memory.pageTable().pages();
+
+    struct ShardResult
+    {
+        ScrubReport report;
+        MemoryStats stats;
+    };
+
+    // Sweep: fixed page-range shards, disjoint storage, private
+    // counters; merged in shard order on this thread.
+    ShardResult merged = engine->reduceShards(
+        pages, kShardPages,
+        [&](const ShardRange &shard) {
+            ShardResult partial;
+            for (std::uint64_t p = shard.begin; p < shard.end; ++p)
+                sweepPage(memory, p, partial.report, partial.stats);
+            return partial;
+        },
+        [](std::vector<ShardResult> &&partials) {
+            ShardResult total;
+            for (ShardResult &p : partials) {
+                total.report.merge(p.report);
+                total.stats += p.stats;
+            }
+            return total;
+        });
+    memory.addStats(merged.stats);
+
+    // The sweep recorded flagged pages; the transition pass rebuilds
+    // the final report's faultyPages in page order, exactly as the
+    // serial path does.
+    std::vector<bool> faulty(pages, false);
+    ScrubReport report = merged.report;
+    for (std::uint64_t page : report.faultyPages)
+        faulty[page] = true;
+    report.faultyPages.clear();
+
+    applyTransitions(memory, faulty, report);
+    return report;
+}
+
+void
+Scrubber::applyTransitions(ArccMemory &memory,
+                           const std::vector<bool> &faulty,
+                           ScrubReport &report) const
+{
     // End of scrub: apply the page-mode transitions.
-    for (std::uint64_t page = 0; page < pages; ++page) {
+    for (std::uint64_t page = 0; page < faulty.size(); ++page) {
         PageMode mode = memory.pageTable().mode(page);
         if (faulty[page]) {
             report.faultyPages.push_back(page);
@@ -91,7 +248,6 @@ Scrubber::scrub(ArccMemory &memory) const
             ++report.pagesRelaxed;
         }
     }
-    return report;
 }
 
 ScrubReport
@@ -100,6 +256,14 @@ Scrubber::bootScrub(ArccMemory &memory) const
     ScrubberConfig boot = config_;
     boot.relaxCleanPages = true;
     return Scrubber(boot).scrub(memory);
+}
+
+ScrubReport
+Scrubber::bootScrubParallel(ArccMemory &memory, SimEngine *engine) const
+{
+    ScrubberConfig boot = config_;
+    boot.relaxCleanPages = true;
+    return Scrubber(boot).scrubParallel(memory, engine);
 }
 
 double

@@ -31,6 +31,8 @@
 namespace arcc
 {
 
+class SimEngine;
+
 /** What a scrub pass found and did. */
 struct ScrubReport
 {
@@ -43,6 +45,16 @@ struct ScrubReport
     std::vector<std::uint64_t> faultyPages;
     std::uint64_t pagesUpgraded = 0;
     std::uint64_t pagesRelaxed = 0;
+
+    /**
+     * Fold another shard's sweep counters in (shard-order merge);
+     * faultyPages concatenates, which keeps it sorted because shards
+     * cover ascending page ranges.
+     */
+    void merge(const ScrubReport &o);
+
+    /** Field-wise equality (determinism tests compare whole reports). */
+    bool operator==(const ScrubReport &o) const = default;
 };
 
 /** Scrubber policy knobs. */
@@ -68,10 +80,41 @@ class Scrubber
     ScrubReport scrub(ArccMemory &memory) const;
 
     /**
+     * Scrub the whole memory with the page sweep sharded across the
+     * engine (nullptr = the global one).
+     *
+     * Each shard owns a fixed, thread-count-independent range of
+     * pages and runs the per-line read / write-0 / write-1 / restore
+     * loop through ArccMemory::accessBatch(), which amortises the
+     * page-table lookup and the group decode across the page.  Shards
+     * touch disjoint pages -- hence disjoint device bytes -- and
+     * accumulate their counters into private ScrubReport /
+     * MemoryStats partials, so the sweep is race-free; the partials
+     * are merged in shard order and the page-mode transitions are
+     * applied afterwards in one ordered pass on the calling thread.
+     *
+     * The returned report is bit-identical to scrub()'s at any thread
+     * count (tests/test_determinism.cc enforces all of this).  The
+     * memory's stats() counters differ from the serial path's only in
+     * accounting granularity: accessBatch counts one logical read per
+     * 64B line where readWholeGroup counts one per group.
+     */
+    ScrubReport scrubParallel(ArccMemory &memory,
+                              SimEngine *engine = nullptr) const;
+
+    /**
      * The paper's boot sequence: everything is already upgraded, so
      * scrub once with relaxCleanPages on.
      */
     ScrubReport bootScrub(ArccMemory &memory) const;
+
+    /** bootScrub on the sharded sweep. */
+    ScrubReport bootScrubParallel(ArccMemory &memory,
+                                  SimEngine *engine = nullptr) const;
+
+    /** Pages per scrub shard; fixed so sharding never depends on the
+     *  thread count (determinism invariant). */
+    static constexpr std::uint64_t kShardPages = 8;
 
     /**
      * Closed-form overhead model of Section 4.2.2: scrub duration for
@@ -84,6 +127,17 @@ class Scrubber
                                     double period_hours);
 
   private:
+    /** One page's sweep (steps 1-4 per group), batched reads; flags
+     *  the page in `report` and accumulates decode work in `stats`. */
+    void sweepPage(ArccMemory &memory, std::uint64_t page,
+                   ScrubReport &report, MemoryStats &stats) const;
+
+    /** End-of-scrub page-mode transitions, one ordered pass; fills
+     *  report.faultyPages / pagesUpgraded / pagesRelaxed. */
+    void applyTransitions(ArccMemory &memory,
+                          const std::vector<bool> &faulty,
+                          ScrubReport &report) const;
+
     ScrubberConfig config_;
 };
 

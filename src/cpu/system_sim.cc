@@ -248,12 +248,17 @@ simulateMixBatch(const std::vector<MixJob> &jobs, SimEngine *engine)
 {
     if (!engine)
         engine = &SimEngine::global();
-    std::vector<SimResult> results(jobs.size());
-    engine->forEachIndex(jobs.size(), [&](std::uint64_t j) {
-        const MixJob &job = jobs[j];
-        results[j] = simulateMix(job.mix, job.config, job.oracle);
-    });
-    return results;
+    // Shard-reduce with one job per shard: the partials vector the
+    // merge receives *is* the result list in job order.
+    return engine->reduceShards(
+        jobs.size(), 1,
+        [&](const ShardRange &shard) {
+            const MixJob &job = jobs[shard.begin];
+            return simulateMix(job.mix, job.config, job.oracle);
+        },
+        [](std::vector<SimResult> &&results) {
+            return std::move(results);
+        });
 }
 
 SimResult

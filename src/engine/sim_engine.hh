@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -104,6 +105,36 @@ class SimEngine
     }
 
     /**
+     * The shard-reduce pattern every deterministic parallel kernel in
+     * the library is built on: `map(shard)` produces one partial per
+     * shard (in parallel, any completion order), then `merge` receives
+     * *all* partials as one vector indexed by shard number and combines
+     * them on the calling thread.  Because the merge sees the partials
+     * in shard order -- an order fixed by (items, shardSize) alone --
+     * the result is bit-identical at any thread count.
+     *
+     * Batch APIs that need the whole partial vector at once (e.g. a
+     * per-job result list, or a report merge that concatenates page
+     * lists) use this directly; simple accumulations use mapReduce.
+     *
+     * The Partial type (Map's result) must be default-constructible
+     * and movable.
+     */
+    template <class Map, class Merge>
+    auto
+    reduceShards(std::uint64_t items, std::uint64_t shardSize,
+                 Map &&map, Merge &&merge) const
+    {
+        using Partial = std::decay_t<
+            std::invoke_result_t<Map &, const ShardRange &>>;
+        std::vector<Partial> partials(shardCount(items, shardSize));
+        forEachShard(items, shardSize, [&](const ShardRange &r) {
+            partials[r.index] = map(r);
+        });
+        return merge(std::move(partials));
+    }
+
+    /**
      * Deterministic sharded map-reduce: `map(shard)` produces one
      * partial per shard (in parallel), `fold(accumulator, partial)`
      * combines them *in shard order* on the calling thread.
@@ -113,13 +144,13 @@ class SimEngine
     mapReduce(std::uint64_t items, std::uint64_t shardSize,
               Partial init, Map &&map, Fold &&fold) const
     {
-        std::vector<Partial> partials(shardCount(items, shardSize));
-        forEachShard(items, shardSize, [&](const ShardRange &r) {
-            partials[r.index] = map(r);
-        });
-        for (Partial &p : partials)
-            fold(init, std::move(p));
-        return init;
+        return reduceShards(
+            items, shardSize, std::forward<Map>(map),
+            [&](std::vector<Partial> &&partials) {
+                for (Partial &p : partials)
+                    fold(init, std::move(p));
+                return std::move(init);
+            });
     }
 
     /** Shards forEachShard will produce for (items, shardSize). */

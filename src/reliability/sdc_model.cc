@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "ecc/reed_solomon.hh"
+#include "engine/sim_engine.hh"
 
 namespace arcc
 {
@@ -195,10 +196,14 @@ SdcModel::dueEvents(double years) const
     return events;
 }
 
-double
-SdcModel::mcArccSdcEvents(double years, double boost, int trials,
-                          std::uint64_t seed) const
+McSdcResult
+SdcModel::mcArccSdcEventsDetailed(double years, double boost,
+                                  int trials, std::uint64_t seed,
+                                  SimEngine *engine) const
 {
+    if (!engine)
+        engine = &SimEngine::global();
+
     // Concrete fault with a sampled footprint.
     struct Concrete
     {
@@ -211,11 +216,12 @@ SdcModel::mcArccSdcEvents(double years, double boost, int trials,
     boosted.rates = config_.rates.scaled(boost);
 
     const double life_hours = years * kHoursPerYear;
-    Rng rng(seed);
-    std::uint64_t events = 0;
 
-    for (int trial = 0; trial < trials; ++trial) {
-        Rng trng = rng.fork();
+    // One trial's fault history and overlap scan.  Self-contained:
+    // the generator is a pure function of (seed, trial), so trials
+    // can run in any order on any shard.
+    auto runTrial = [&](std::uint64_t trial, McSdcResult &out) {
+        Rng trng = Rng::stream(seed, trial);
         std::vector<Concrete> faults;
         for (FaultType t : allFaultTypes()) {
             double rate =
@@ -255,6 +261,7 @@ SdcModel::mcArccSdcEvents(double years, double boost, int trials,
             return true;
         };
 
+        std::uint64_t trial_events = 0;
         for (std::size_t i = 0; i < faults.size(); ++i) {
             // Fault i is detected (and its pages upgraded) at the end
             // of the scrub period it arrives in.
@@ -265,11 +272,43 @@ SdcModel::mcArccSdcEvents(double years, double boost, int trials,
                 if (faults[j].time >= detect)
                     break;
                 if (overlaps(faults[i], faults[j]))
-                    ++events;
+                    ++trial_events;
             }
         }
-    }
-    return static_cast<double>(events) / trials;
+
+        ++out.trials;
+        out.events += trial_events;
+        out.faultsSampled += faults.size();
+        int bin = static_cast<int>(
+            std::min<std::uint64_t>(trial_events,
+                                    McSdcResult::kHistogramBins - 1));
+        ++out.eventHistogram[bin];
+    };
+
+    // Shard the trial range; each shard's partial is pure integer
+    // counters, merged in shard order on the calling thread.
+    return engine->reduceShards(
+        static_cast<std::uint64_t>(trials), SimEngine::kDefaultShard,
+        [&](const ShardRange &shard) {
+            McSdcResult partial;
+            for (std::uint64_t t = shard.begin; t < shard.end; ++t)
+                runTrial(t, partial);
+            return partial;
+        },
+        [](std::vector<McSdcResult> &&partials) {
+            McSdcResult total;
+            for (const McSdcResult &p : partials)
+                total.merge(p);
+            return total;
+        });
+}
+
+double
+SdcModel::mcArccSdcEvents(double years, double boost, int trials,
+                          std::uint64_t seed, SimEngine *engine) const
+{
+    return mcArccSdcEventsDetailed(years, boost, trials, seed, engine)
+        .eventsPerTrial();
 }
 
 double

@@ -36,12 +36,53 @@
 #ifndef ARCC_RELIABILITY_SDC_MODEL_HH
 #define ARCC_RELIABILITY_SDC_MODEL_HH
 
+#include <array>
 #include <cstdint>
 
 #include "faults/fault_model.hh"
 
 namespace arcc
 {
+
+class SimEngine;
+
+/**
+ * Detailed outcome of the SDC-event Monte Carlo.  Every field is an
+ * integer counter, so cross-thread-count equality is exact (no
+ * floating-point reduction is involved until eventsPerTrial()).
+ */
+struct McSdcResult
+{
+    /** Bins of the per-trial event histogram; the last bin is >=. */
+    static constexpr int kHistogramBins = 8;
+
+    std::uint64_t trials = 0;
+    /** Total SDC-candidate events over all trials. */
+    std::uint64_t events = 0;
+    /** Total concrete faults sampled over all trials. */
+    std::uint64_t faultsSampled = 0;
+    /** eventHistogram[k] = trials that saw exactly k events. */
+    std::array<std::uint64_t, kHistogramBins> eventHistogram{};
+
+    double
+    eventsPerTrial() const
+    {
+        return trials == 0
+                   ? 0.0
+                   : static_cast<double>(events) / trials;
+    }
+
+    /** Accumulate another partial (shard-order merge). */
+    void
+    merge(const McSdcResult &o)
+    {
+        trials += o.trials;
+        events += o.events;
+        faultsSampled += o.faultsSampled;
+        for (int i = 0; i < kHistogramBins; ++i)
+            eventHistogram[i] += o.eventHistogram[i];
+    }
+};
 
 /** Reliability-model configuration. */
 struct SdcModelConfig
@@ -112,9 +153,23 @@ class SdcModel
      * Monte Carlo validation of arccSdcEvents with rates uniformly
      * boosted (the raw rates are too small to hit in feasible trials).
      * Compare against arccSdcEvents computed on the boosted config.
+     *
+     * Trials are sharded across the engine (nullptr = the global one).
+     * Trial t draws its generator from Rng::stream(seed, t) -- a pure
+     * function of the trial index -- and the per-shard partials are
+     * integer counters merged in shard order, so the event count and
+     * the per-trial histogram are bit-identical at any thread count.
+     * tests/test_determinism.cc enforces this.
      */
     double mcArccSdcEvents(double years, double boost, int trials,
-                           std::uint64_t seed) const;
+                           std::uint64_t seed,
+                           SimEngine *engine = nullptr) const;
+
+    /** Same run, returning the full counters and histogram. */
+    McSdcResult mcArccSdcEventsDetailed(double years, double boost,
+                                        int trials, std::uint64_t seed,
+                                        SimEngine *engine
+                                        = nullptr) const;
 
     const SdcModelConfig &config() const { return config_; }
 

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Determinism proofs for every parallel kernel (ctest label
+ * `determinism`): golden values plus N-thread-vs-1-thread equality
+ * for the SDC-event Monte Carlo, the sharded scrubber, and the mix
+ * simulation batch.
+ *
+ * Two kinds of test:
+ *
+ *  - engine-pinned: run the same kernel on engines of 1, 2 and 7
+ *    executors and require bit-identical results;
+ *  - golden: run through SimEngine::global() -- whose size comes from
+ *    ARCC_THREADS -- and compare against hardcoded values.  CI runs
+ *    this label at ARCC_THREADS=1 and 4, so a kernel whose result
+ *    drifts with the thread count fails there even if it is
+ *    self-consistent within one process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arcc/scrubber.hh"
+#include "common/rng.hh"
+#include "cpu/system_sim.hh"
+#include "dram/dram_params.hh"
+#include "engine/sim_engine.hh"
+#include "reliability/sdc_model.hh"
+
+namespace arcc
+{
+namespace
+{
+
+/** The thread counts every equality test sweeps. */
+const std::vector<int> kThreadCounts = {1, 2, 7};
+
+// --- SDC-event Monte Carlo ---------------------------------------------
+
+McSdcResult
+runMc(SimEngine *engine)
+{
+    SdcModel model(SdcModelConfig::arccMachine());
+    return model.mcArccSdcEventsDetailed(7.0, 2000.0, 300, 99, engine);
+}
+
+void
+expectEqual(const McSdcResult &a, const McSdcResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.faultsSampled, b.faultsSampled);
+    EXPECT_EQ(a.eventHistogram, b.eventHistogram);
+}
+
+TEST(McSdcDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    SimEngine ref(SimEngine::Options{1});
+    McSdcResult serial = runMc(&ref);
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        expectEqual(runMc(&engine), serial);
+    }
+}
+
+TEST(McSdcDeterminism, GoldenValuesOnTheGlobalEngine)
+{
+    // Golden counters for (years=7, boost=2000, trials=300, seed=99).
+    // The global engine's size comes from ARCC_THREADS: CI runs this
+    // at 1 and 4 threads and both must reproduce these numbers.
+    McSdcResult r = runMc(nullptr);
+    EXPECT_EQ(r.trials, 300u);
+    EXPECT_EQ(r.events, 78u);
+    EXPECT_EQ(r.faultsSampled, 151545u);
+    std::array<std::uint64_t, McSdcResult::kHistogramBins> hist{
+        232, 61, 4, 3, 0, 0, 0, 0};
+    EXPECT_EQ(r.eventHistogram, hist);
+    EXPECT_DOUBLE_EQ(r.eventsPerTrial(), 78.0 / 300.0);
+}
+
+TEST(McSdcDeterminism, ScalarEntryPointMatchesDetailed)
+{
+    SimEngine engine(SimEngine::Options{2});
+    SdcModel model(SdcModelConfig::arccMachine());
+    double scalar =
+        model.mcArccSdcEvents(7.0, 2000.0, 300, 99, &engine);
+    EXPECT_DOUBLE_EQ(scalar, runMc(&engine).eventsPerTrial());
+}
+
+// --- sharded scrubber --------------------------------------------------
+
+/** A 512KB ARCC memory with pseudo-random content, one corrupt
+ *  device, and one stuck-at-1 row: every scrub step has work. */
+ArccMemory
+scrubFixture()
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Rng rng(2026);
+    for (std::uint64_t addr = 0; addr < mem.capacity();
+         addr += kLineBytes) {
+        std::vector<std::uint8_t> line(kLineBytes);
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        mem.write(addr, line);
+    }
+
+    FunctionalFault dead;
+    dead.channel = 0;
+    dead.rank = 1;
+    dead.device = 6;
+    dead.scope = FaultScope::Device;
+    dead.kind = FaultKind::Corrupt;
+    mem.injectFault(dead);
+
+    FunctionalFault stuck;
+    stuck.channel = 1;
+    stuck.rank = 0;
+    stuck.device = 2;
+    stuck.scope = FaultScope::Row;
+    stuck.bank = 0;
+    stuck.row = 3;
+    stuck.kind = FaultKind::StuckAt1;
+    mem.injectFault(stuck);
+    return mem;
+}
+
+TEST(ScrubDeterminism, ParallelReportsMatchSerialAtEveryThreadCount)
+{
+    Scrubber scrubber;
+
+    ArccMemory ref = scrubFixture();
+    ScrubReport boot_ref = scrubber.bootScrub(ref);
+    ScrubReport scrub_ref = scrubber.scrub(ref);
+
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        ArccMemory mem = scrubFixture();
+
+        EXPECT_EQ(scrubber.bootScrubParallel(mem, &engine), boot_ref);
+        EXPECT_EQ(scrubber.scrubParallel(mem, &engine), scrub_ref);
+
+        // End state matches too: page modes and (batched-granularity)
+        // stats are pure functions of the configuration.
+        EXPECT_EQ(mem.pageTable().count(PageMode::Relaxed),
+                  ref.pageTable().count(PageMode::Relaxed));
+        EXPECT_EQ(mem.pageTable().count(PageMode::Upgraded),
+                  ref.pageTable().count(PageMode::Upgraded));
+        EXPECT_EQ(mem.stats().deviceReads, ref.stats().deviceReads);
+        EXPECT_EQ(mem.stats().corrected, ref.stats().corrected);
+        EXPECT_EQ(mem.stats().dues, ref.stats().dues);
+    }
+}
+
+TEST(ScrubDeterminism, GoldenReportOnTheGlobalEngine)
+{
+    // Golden counters for scrubFixture() after a boot scrub, via the
+    // ARCC_THREADS-sized global engine.
+    Scrubber scrubber;
+    ArccMemory mem = scrubFixture();
+    scrubber.bootScrubParallel(mem);
+    ScrubReport r = scrubber.scrubParallel(mem);
+
+    EXPECT_EQ(r.linesScrubbed, 6080u);
+    EXPECT_EQ(r.errorsCorrected, 8418u);
+    EXPECT_EQ(r.duesFound, 0u);
+    EXPECT_EQ(r.stuckAt1Found, 2112u);
+    EXPECT_EQ(r.stuckAt0Found, 2048u);
+    EXPECT_EQ(r.faultyPages.size(), 66u);
+    EXPECT_EQ(r.pagesUpgraded, 0u); // boot already upgraded them.
+    EXPECT_EQ(r.pagesRelaxed, 0u);
+}
+
+TEST(ScrubDeterminism, ParallelScrubHealsAndUpgradesLikeSerial)
+{
+    // Functional outcome, not just counters: data survives and the
+    // faulty rank's pages end up upgraded.
+    SimEngine engine(SimEngine::Options{7});
+    ArccMemory mem = scrubFixture();
+    Scrubber scrubber;
+    scrubber.bootScrubParallel(mem, &engine);
+
+    EXPECT_NEAR(mem.pageTable().upgradedFraction(), 0.5, 0.05);
+    for (std::uint64_t addr : {std::uint64_t{0}, kPageBytes * 100}) {
+        ReadResult r = mem.read(addr);
+        EXPECT_NE(r.status, DecodeStatus::Detected);
+    }
+}
+
+// --- mix simulation batch ----------------------------------------------
+
+std::vector<MixJob>
+mixJobs()
+{
+    SystemConfig cfg;
+    cfg.mem = arccConfig();
+    cfg.instrsPerCore = 20000; // keep the test quick.
+    cfg.seed = 20130223;
+
+    std::vector<MixJob> jobs;
+    jobs.push_back({table73Mixes()[0], cfg, {}});
+    jobs.push_back({table73Mixes()[1], cfg,
+                    PageUpgradeOracle::forScenario(
+                        PageUpgradeOracle::Scenario::Lane, cfg.mem)});
+    jobs.push_back({table73Mixes()[2], cfg,
+                    PageUpgradeOracle::forScenario(
+                        PageUpgradeOracle::Scenario::Bank, cfg.mem)});
+    jobs.push_back({table73Mixes()[3], cfg,
+                    PageUpgradeOracle::forScenario(
+                        PageUpgradeOracle::Scenario::Column, cfg.mem)});
+    return jobs;
+}
+
+TEST(MixBatchDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    std::vector<MixJob> jobs = mixJobs();
+    SimEngine ref_engine(SimEngine::Options{1});
+    std::vector<SimResult> ref = simulateMixBatch(jobs, &ref_engine);
+    ASSERT_EQ(ref.size(), jobs.size());
+
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        std::vector<SimResult> out = simulateMixBatch(jobs, &engine);
+        ASSERT_EQ(out.size(), ref.size());
+        for (std::size_t j = 0; j < ref.size(); ++j) {
+            SCOPED_TRACE("job " + std::to_string(j));
+            EXPECT_EQ(out[j].ipcSum, ref[j].ipcSum);
+            EXPECT_EQ(out[j].avgPowerMw, ref[j].avgPowerMw);
+            EXPECT_EQ(out[j].elapsedNs, ref[j].elapsedNs);
+            EXPECT_EQ(out[j].memReads, ref[j].memReads);
+            EXPECT_EQ(out[j].memWrites, ref[j].memWrites);
+            EXPECT_EQ(out[j].llcStats.misses, ref[j].llcStats.misses);
+        }
+    }
+}
+
+TEST(MixBatchDeterminism, GlobalEngineMatchesSequentialReference)
+{
+    // Through the ARCC_THREADS-sized global engine (the path CI pins
+    // to 1 and 4 threads): the batch must equal per-job simulateMix.
+    std::vector<MixJob> jobs = mixJobs();
+    std::vector<SimResult> batch = simulateMixBatch(jobs);
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        SCOPED_TRACE("job " + std::to_string(j));
+        SimResult ref =
+            simulateMix(jobs[j].mix, jobs[j].config, jobs[j].oracle);
+        EXPECT_EQ(batch[j].ipcSum, ref.ipcSum);
+        EXPECT_EQ(batch[j].memReads, ref.memReads);
+        EXPECT_EQ(batch[j].memWrites, ref.memWrites);
+    }
+}
+
+} // namespace
+} // namespace arcc

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Scrubber edge coverage, exercised through BOTH sweep paths (the
+ * serial reference scrub() and the engine-sharded scrubParallel()):
+ *
+ *  - a stuck-at-1 fault masked by matching data (only the write-0
+ *    pattern can see it);
+ *  - relax-on-boot demoting an all-clean memory;
+ *  - the level-2 escalation path of Chapter 5.1;
+ *  - an empty memory (0 pages / 0 lines).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "arcc/scrubber.hh"
+#include "common/rng.hh"
+#include "engine/sim_engine.hh"
+
+namespace arcc
+{
+namespace
+{
+
+/** Run one scrub through the path under test. */
+enum class Path
+{
+    Serial,
+    Parallel,
+};
+
+ScrubReport
+runScrub(const Scrubber &scrubber, ArccMemory &mem, Path path,
+         SimEngine *engine)
+{
+    return path == Path::Serial ? scrubber.scrub(mem)
+                                : scrubber.scrubParallel(mem, engine);
+}
+
+class ScrubberEdge : public ::testing::TestWithParam<Path>
+{
+  protected:
+    SimEngine engine_{SimEngine::Options{3}};
+
+    ScrubReport
+    doScrub(const Scrubber &scrubber, ArccMemory &mem)
+    {
+        return runScrub(scrubber, mem, GetParam(), &engine_);
+    }
+};
+
+TEST_P(ScrubberEdge, StuckAt1MaskedByMatchingDataNeedsPatterns)
+{
+    // Content that happens to equal the stuck value hides the fault
+    // from a read-only scrub; only the write-0 pass exposes it.
+    auto run = [&](bool test_patterns) {
+        ArccMemory mem(FunctionalConfig::arccSmall());
+        Scrubber(ScrubberConfig{.testPatterns = false,
+                                .relaxCleanPages = true,
+                                .allowLevel2 = false})
+            .scrub(mem);
+        std::vector<std::uint8_t> ones(kLineBytes, 0xff);
+        mem.write(0, ones); // data matches the stuck-at-1 value.
+
+        FunctionalFault f;
+        f.channel = 0;
+        f.rank = 0;
+        f.device = 1;
+        f.scope = FaultScope::Cell;
+        f.bank = 0;
+        f.row = 0;
+        f.col = 0;
+        f.kind = FaultKind::StuckAt1;
+        mem.injectFault(f);
+
+        ScrubberConfig sc;
+        sc.testPatterns = test_patterns;
+        ScrubReport rep = doScrub(Scrubber(sc), mem);
+        return rep;
+    };
+
+    ScrubReport blind = run(false);
+    EXPECT_TRUE(blind.faultyPages.empty())
+        << "a read-only scrub must miss the masked fault";
+    EXPECT_EQ(blind.stuckAt1Found, 0u);
+
+    ScrubReport seeing = run(true);
+    EXPECT_FALSE(seeing.faultyPages.empty())
+        << "the pattern scrub must find it";
+    EXPECT_GT(seeing.stuckAt1Found, 0u);
+    EXPECT_GT(seeing.pagesUpgraded, 0u);
+}
+
+TEST_P(ScrubberEdge, RelaxOnBootDemotesAnAllCleanMemory)
+{
+    ArccMemory mem(FunctionalConfig::arccSmall());
+    Rng rng(7);
+    for (std::uint64_t p = 0; p < mem.pageTable().pages(); ++p) {
+        std::vector<std::uint8_t> line(kLineBytes);
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        mem.write(p * kPageBytes, line);
+    }
+    ASSERT_EQ(mem.pageTable().count(PageMode::Upgraded),
+              mem.pageTable().pages())
+        << "ARCC boots every page upgraded";
+
+    Scrubber scrubber;
+    ScrubReport rep = GetParam() == Path::Serial
+                          ? scrubber.bootScrub(mem)
+                          : scrubber.bootScrubParallel(mem, &engine_);
+
+    EXPECT_TRUE(rep.faultyPages.empty());
+    EXPECT_EQ(rep.pagesRelaxed, mem.pageTable().pages());
+    EXPECT_EQ(rep.pagesUpgraded, 0u);
+    EXPECT_EQ(mem.pageTable().count(PageMode::Relaxed),
+              mem.pageTable().pages());
+    // Content survived the demotion and the test patterns.
+    EXPECT_EQ(mem.read(0).status, DecodeStatus::Clean);
+}
+
+TEST_P(ScrubberEdge, HardFaultEscalatesToLevel2OnTheSecondScrub)
+{
+    ArccMemory mem(FunctionalConfig::arccWide());
+    Scrubber scrubber;
+    scrubber.bootScrub(mem);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 0;
+    f.device = 3;
+    f.scope = FaultScope::Device;
+    f.kind = FaultKind::Corrupt;
+    mem.injectFault(f);
+
+    ScrubReport first = doScrub(scrubber, mem);
+    EXPECT_GT(first.pagesUpgraded, 0u);
+    EXPECT_GT(mem.pageTable().count(PageMode::Upgraded), 0u);
+    EXPECT_EQ(mem.pageTable().count(PageMode::Upgraded2), 0u);
+
+    // The hard fault keeps failing: the next scrub escalates the
+    // affected pages to the 8-check-symbol level-2 mode.
+    ScrubReport second = doScrub(scrubber, mem);
+    EXPECT_GT(second.pagesUpgraded, 0u);
+    EXPECT_GT(mem.pageTable().count(PageMode::Upgraded2), 0u);
+}
+
+TEST_P(ScrubberEdge, Level2EscalationIsGatedByTheConfig)
+{
+    // Same fault, but the scrubber refuses to escalate when its own
+    // allowLevel2 knob is off.
+    ArccMemory mem(FunctionalConfig::arccWide());
+    ScrubberConfig cfg;
+    cfg.allowLevel2 = false;
+    Scrubber scrubber(cfg);
+    scrubber.bootScrub(mem);
+
+    FunctionalFault f;
+    f.channel = 0;
+    f.rank = 0;
+    f.device = 3;
+    f.scope = FaultScope::Device;
+    f.kind = FaultKind::Corrupt;
+    mem.injectFault(f);
+
+    doScrub(scrubber, mem);
+    doScrub(scrubber, mem);
+    EXPECT_EQ(mem.pageTable().count(PageMode::Upgraded2), 0u);
+}
+
+TEST_P(ScrubberEdge, EmptyMemoryScrubsToAnAllZeroReport)
+{
+    FunctionalConfig cfg = FunctionalConfig::arccSmall();
+    cfg.rows = 0; // 0 lines, 0 pages.
+    ArccMemory mem(cfg);
+    ASSERT_EQ(mem.capacity(), 0u);
+    ASSERT_EQ(mem.pageTable().pages(), 0u);
+
+    Scrubber scrubber;
+    ScrubReport rep = doScrub(scrubber, mem);
+    EXPECT_EQ(rep.linesScrubbed, 0u);
+    EXPECT_EQ(rep.errorsCorrected, 0u);
+    EXPECT_EQ(rep.duesFound, 0u);
+    EXPECT_EQ(rep.stuckAt1Found, 0u);
+    EXPECT_EQ(rep.stuckAt0Found, 0u);
+    EXPECT_TRUE(rep.faultyPages.empty());
+    EXPECT_EQ(rep.pagesUpgraded, 0u);
+    EXPECT_EQ(rep.pagesRelaxed, 0u);
+
+    // Both sweeps agree on the degenerate case too.
+    ScrubReport other = runScrub(
+        scrubber, mem,
+        GetParam() == Path::Serial ? Path::Parallel : Path::Serial,
+        &engine_);
+    EXPECT_EQ(rep, other);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSweeps, ScrubberEdge,
+                         ::testing::Values(Path::Serial,
+                                           Path::Parallel),
+                         [](const auto &info) {
+                             return info.param == Path::Serial
+                                        ? "Serial"
+                                        : "Parallel";
+                         });
+
+} // namespace
+} // namespace arcc
