@@ -1,182 +1,318 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the ECC substrate: encode and
- * decode throughput of every codec the schemes use, in the states that
- * matter (clean, one-symbol error, whole-device kill, erasure decode).
+ * ECC substrate throughput bench: encode / syndrome-screen / decode
+ * MSym/s for every Reed-Solomon codec the schemes use, in the states
+ * that matter (clean word, corrupted word, erasure decode), measured
+ * for both the table-driven fast pipeline and the retained reference
+ * implementation, so the fast path's speedup is tracked per PR.
+ *
+ * Output: one human line and one bench_common jsonRow per
+ * (codec, impl, path).  The JSON rows carry
+ *
+ *  - `check`: a decode-output hash that is a pure function of the
+ *    fixed iteration count and seeds -- CI diffs it across 1-vs-N
+ *    thread runs (with `threads` and the timing fields normalised);
+ *  - `msym_s` / `ns_word`: the throughput numbers (timing-dependent,
+ *    normalised away by the CI diff, tracked via the artifact).
+ *
+ * ARCC_BENCH_ECC_ITERS overrides the per-path iteration budget.
  */
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "arcc/ecc_scheme.hh"
+#include "bench_common.hh"
 #include "common/rng.hh"
 #include "ecc/lot_ecc.hh"
 #include "ecc/reed_solomon.hh"
+#include "ecc/rs_reference.hh"
+#include "ecc/rs_workspace.hh"
 #include "ecc/secded.hh"
 
 using namespace arcc;
+using namespace arcc::bench;
 
 namespace
 {
 
-void
-BM_RsEncode(benchmark::State &state)
+std::uint64_t
+iterBudget()
 {
-    int n = static_cast<int>(state.range(0));
-    int k = static_cast<int>(state.range(1));
-    ReedSolomon rs(n, k);
-    Rng rng(1);
-    std::vector<std::uint8_t> word(n);
-    for (int i = 0; i < k; ++i)
-        word[i] = static_cast<std::uint8_t>(rng.below(256));
-    for (auto _ : state) {
-        rs.encode(word);
-        benchmark::DoNotOptimize(word.data());
-    }
-    state.SetBytesProcessed(state.iterations() * k);
+    if (const char *env = std::getenv("ARCC_BENCH_ECC_ITERS"))
+        return std::max<std::uint64_t>(
+            1, std::strtoull(env, nullptr, 10));
+    return 100000;
 }
-BENCHMARK(BM_RsEncode)
-    ->Args({18, 16})
-    ->Args({36, 32})
-    ->Args({72, 64});
 
-void
-BM_RsDecodeClean(benchmark::State &state)
+/** A scaled-down share of the budget, never zero. */
+std::uint64_t
+budgetShare(std::uint64_t divisor)
 {
-    int n = static_cast<int>(state.range(0));
-    int k = static_cast<int>(state.range(1));
-    ReedSolomon rs(n, k);
-    Rng rng(2);
-    std::vector<std::uint8_t> word(n);
-    for (int i = 0; i < k; ++i)
-        word[i] = static_cast<std::uint8_t>(rng.below(256));
-    rs.encode(word);
-    for (auto _ : state) {
-        DecodeResult res = rs.decode(word);
-        benchmark::DoNotOptimize(res);
-    }
-    state.SetBytesProcessed(state.iterations() * k);
+    return std::max<std::uint64_t>(1, iterBudget() / divisor);
 }
-BENCHMARK(BM_RsDecodeClean)
-    ->Args({18, 16})
-    ->Args({36, 32})
-    ->Args({72, 64});
 
-void
-BM_RsDecodeOneError(benchmark::State &state)
+/** Decode-output accumulator: order-sensitive, timing-independent. */
+struct Check
 {
-    int n = static_cast<int>(state.range(0));
-    int k = static_cast<int>(state.range(1));
-    ReedSolomon rs(n, k);
-    Rng rng(3);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    mix(std::uint64_t v)
+    {
+        h = (h ^ v) * 0x100000001b3ULL;
+    }
+
+    void
+    mixBytes(std::span<const std::uint8_t> bytes)
+    {
+        for (std::uint8_t b : bytes)
+            mix(b);
+    }
+};
+
+/** Time `body(iters)` and emit the human + JSON rows. */
+template <class Body>
+void
+report(const char *codec, const char *impl, const char *path,
+       std::uint64_t iters, int symbols_per_word, Body &&body)
+{
+    Check check;
+    const auto start = std::chrono::steady_clock::now();
+    body(iters, check);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    const double ns_word = ns / static_cast<double>(iters);
+    const double msym_s =
+        symbols_per_word / ns_word * 1e3; // sym/ns -> MSym/s.
+
+    std::printf("  %-9s %-4s %-16s %10.1f MSym/s  %8.1f ns/word\n",
+                codec, impl, path, msym_s, ns_word);
+    jsonRow("ecc", {
+                       {"codec", std::string("\"") + codec + "\""},
+                       {"impl", std::string("\"") + impl + "\""},
+                       {"path", std::string("\"") + path + "\""},
+                       {"iters", jsonNum(iters)},
+                       {"check", jsonNum(check.h)},
+                       {"msym_s", jsonNum(msym_s)},
+                       {"ns_word", jsonNum(ns_word)},
+                   });
+}
+
+/** One codec's full sweep, fast and reference side by side. */
+void
+benchCodec(const char *name, int n, int k)
+{
+    const ReedSolomon fast(n, k);
+    const RsReference ref(n, k);
+    RsWorkspace ws;
+    const std::uint64_t iters = iterBudget();
+    // The reference decoder is an order of magnitude slower; keep its
+    // share of the runtime proportionate.
+    const std::uint64_t ref_iters = budgetShare(10);
+
+    Rng rng(42);
     std::vector<std::uint8_t> clean(n);
     for (int i = 0; i < k; ++i)
         clean[i] = static_cast<std::uint8_t>(rng.below(256));
-    rs.encode(clean);
+    fast.encode(clean);
     std::vector<std::uint8_t> word = clean;
-    for (auto _ : state) {
-        word = clean;
-        word[5] ^= 0x7b;
-        DecodeResult res = rs.decode(word, 1);
-        benchmark::DoNotOptimize(res);
-    }
-    state.SetBytesProcessed(state.iterations() * k);
-}
-BENCHMARK(BM_RsDecodeOneError)->Args({18, 16})->Args({36, 32});
+    const std::vector<int> erasures = {7};
 
-void
-BM_RsDecodeErasurePlusError(benchmark::State &state)
-{
-    ReedSolomon rs(36, 32);
-    Rng rng(4);
-    std::vector<std::uint8_t> clean(36);
-    for (int i = 0; i < 32; ++i)
-        clean[i] = static_cast<std::uint8_t>(rng.below(256));
-    rs.encode(clean);
-    std::vector<std::uint8_t> word;
-    std::vector<int> erasures = {7};
-    for (auto _ : state) {
-        word = clean;
-        word[7] = 0xaa;
-        word[20] ^= 0x31;
-        DecodeResult res = rs.decode(word, -1, erasures);
-        benchmark::DoNotOptimize(res);
+    // --- encode -------------------------------------------------------
+    report(name, "fast", "encode", iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   fast.encode(word);
+                   c.mix(word[static_cast<std::size_t>(k)]);
+               }
+           });
+    report(name, "ref", "encode", ref_iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   ref.encode(word);
+                   c.mix(word[static_cast<std::size_t>(k)]);
+               }
+           });
+
+    // --- clean-word syndrome screen ----------------------------------
+    report(name, "fast", "syndrome_clean", iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i)
+                   c.mix(fast.syndromesZero(clean) ? 1 : 0);
+           });
+    report(name, "ref", "syndrome_clean", ref_iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i)
+                   c.mix(ref.syndromesZero(clean) ? 1 : 0);
+           });
+
+    // --- clean-word decode -------------------------------------------
+    report(name, "fast", "decode_clean", iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   const RsDecodeView res = fast.decode(word, ws);
+                   c.mix(static_cast<std::uint64_t>(res.status));
+               }
+           });
+    report(name, "ref", "decode_clean", ref_iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   const DecodeResult res = ref.decode(word);
+                   c.mix(static_cast<std::uint64_t>(res.status));
+               }
+           });
+
+    // --- corrupted-word decode (one symbol error) --------------------
+    const std::uint64_t corrupt_iters = budgetShare(5);
+    report(name, "fast", "decode_1err", corrupt_iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   word = clean;
+                   word[5] ^= 0x7b;
+                   const RsDecodeView res = fast.decode(word, ws, 1);
+                   c.mix(static_cast<std::uint64_t>(res.status));
+                   c.mixBytes(word);
+               }
+           });
+    report(name, "ref", "decode_1err", ref_iters, n,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   word = clean;
+                   word[5] ^= 0x7b;
+                   const DecodeResult res = ref.decode(word, 1);
+                   c.mix(static_cast<std::uint64_t>(res.status));
+                   c.mixBytes(word);
+               }
+           });
+
+    // --- erasure + error decode (r >= 4 codecs) ----------------------
+    if (n - k >= 4) {
+        report(name, "fast", "decode_erasure", corrupt_iters, n,
+               [&](std::uint64_t it, Check &c) {
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       word = clean;
+                       word[7] = 0xaa;
+                       word[20] ^= 0x31;
+                       const RsDecodeView res =
+                           fast.decode(word, ws, -1, erasures);
+                       c.mix(static_cast<std::uint64_t>(res.status));
+                       c.mixBytes(word);
+                   }
+               });
+        report(name, "ref", "decode_erasure", ref_iters, n,
+               [&](std::uint64_t it, Check &c) {
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       word = clean;
+                       word[7] = 0xaa;
+                       word[20] ^= 0x31;
+                       const DecodeResult res =
+                           ref.decode(word, -1, erasures);
+                       c.mix(static_cast<std::uint64_t>(res.status));
+                       c.mixBytes(word);
+                   }
+               });
     }
 }
-BENCHMARK(BM_RsDecodeErasurePlusError);
 
+/** SECDED (the 9-device baseline the paper leaves behind). */
 void
-BM_SecdedEncode(benchmark::State &state)
+benchSecded()
 {
-    Rng rng(5);
-    std::uint64_t data = rng.next();
-    for (auto _ : state) {
-        std::uint8_t c = Secded::encode(data);
-        benchmark::DoNotOptimize(c);
-        ++data;
-    }
-    state.SetBytesProcessed(state.iterations() * 8);
+    const std::uint64_t iters = iterBudget();
+    Rng rng(43);
+    const std::uint64_t data = rng.next();
+    const std::uint8_t code = Secded::encode(data);
+
+    report("secded", "fast", "encode", iters, 8,
+           [&](std::uint64_t it, Check &c) {
+               std::uint64_t d = data;
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   c.mix(Secded::encode(d));
+                   ++d;
+               }
+           });
+    report("secded", "fast", "decode_1err", iters, 8,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   std::uint64_t d = data ^ (1ULL << 17);
+                   std::uint8_t ck = code;
+                   const Secded::Result res = Secded::decode(d, ck);
+                   c.mix(d ^ static_cast<std::uint64_t>(res.status));
+               }
+           });
 }
-BENCHMARK(BM_SecdedEncode);
 
+/** LOT-ECC encode (checksums + XOR parity). */
 void
-BM_SecdedDecodeWithError(benchmark::State &state)
+benchLot(const char *name, int data_devices, int line_bytes)
 {
-    Rng rng(6);
-    std::uint64_t data = rng.next();
-    std::uint8_t check = Secded::encode(data);
-    for (auto _ : state) {
-        std::uint64_t d = data ^ (1ULL << 17);
-        std::uint8_t c = check;
-        auto res = Secded::decode(d, c);
-        benchmark::DoNotOptimize(res);
-    }
-    state.SetBytesProcessed(state.iterations() * 8);
-}
-BENCHMARK(BM_SecdedDecodeWithError);
-
-void
-BM_LotEncode(benchmark::State &state)
-{
-    LotEcc lot(static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(0)) == 8 ? 64 : 128);
-    Rng rng(7);
-    std::vector<std::uint8_t> line(lot.dataDevices() *
-                                   lot.sliceBytes());
+    const LotEcc lot(data_devices, line_bytes);
+    const std::uint64_t iters = budgetShare(5);
+    Rng rng(44);
+    std::vector<std::uint8_t> line(line_bytes);
     for (auto &b : line)
         b = static_cast<std::uint8_t>(rng.below(256));
-    for (auto _ : state) {
-        LotLine enc = lot.encode(line);
-        benchmark::DoNotOptimize(enc.slices.data());
-    }
-    state.SetBytesProcessed(state.iterations() * line.size());
-}
-BENCHMARK(BM_LotEncode)->Arg(8)->Arg(16);
+    LotLine enc;
 
+    report(name, "fast", "encode", iters, line_bytes,
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   lot.encodeInto(line, enc);
+                   c.mix(enc.checksums[0]);
+               }
+           });
+}
+
+/** Full line-codec path: encode, kill a device, decode -- what one
+ *  faulty-memory read costs the functional model. */
 void
-BM_LineCodecWholePath(benchmark::State &state)
+benchLineCodec(const char *name,
+               std::unique_ptr<LineCodec> (*make)())
 {
-    // Full 64B-line encode + device-kill + decode through the scheme
-    // codec (what one faulty-memory read costs the model).
-    auto codec = state.range(0) == 0 ? schemes::arccRelaxed()
-                                     : schemes::arccUpgraded();
-    Rng rng(8);
+    const std::unique_ptr<LineCodec> codec = make();
+    LineWorkspace ws;
+    const std::uint64_t iters = budgetShare(20);
+    Rng rng(45);
     std::vector<std::uint8_t> data(codec->dataBytes());
     for (auto &b : data)
         b = static_cast<std::uint8_t>(rng.below(256));
-    for (auto _ : state) {
-        DeviceSlices slices = codec->encode(data);
-        for (auto &b : slices[3])
-            b ^= 0x55;
-        std::vector<std::uint8_t> out(codec->dataBytes());
-        DecodeResult res = codec->decode(slices, out);
-        benchmark::DoNotOptimize(res);
-    }
-    state.SetBytesProcessed(state.iterations() * codec->dataBytes());
+    DeviceSlices slices;
+    std::vector<std::uint8_t> out(codec->dataBytes());
+    DecodeResult dec;
+
+    report(name, "fast", "line_kill_path", iters, codec->dataBytes(),
+           [&](std::uint64_t it, Check &c) {
+               for (std::uint64_t i = 0; i < it; ++i) {
+                   codec->encodeInto(data, slices, ws);
+                   for (auto &b : slices[3])
+                       b ^= 0x55;
+                   codec->decodeInto(slices, out, {}, ws, dec);
+                   c.mix(static_cast<std::uint64_t>(dec.status));
+                   c.mix(static_cast<std::uint64_t>(
+                       dec.symbolsCorrected));
+               }
+           });
 }
-BENCHMARK(BM_LineCodecWholePath)->Arg(0)->Arg(1);
 
-} // namespace
+} // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::printf("ECC codec throughput (fast = table-driven workspace "
+                "pipeline, ref = retained oracle)\n");
+    benchCodec("rs18_16", 18, 16);
+    benchCodec("rs36_32", 36, 32);
+    benchCodec("rs72_64", 72, 64);
+    benchSecded();
+    benchLot("lot9", 8, 64);
+    benchLot("lot18", 16, 128);
+    benchLineCodec("arcc_relaxed", schemes::arccRelaxed);
+    benchLineCodec("arcc_upgraded", schemes::arccUpgraded);
+    return 0;
+}

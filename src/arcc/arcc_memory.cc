@@ -308,21 +308,29 @@ ArccMemory::applyOverlay(std::span<std::uint8_t> bytes, int channel,
     }
 }
 
-DeviceSlices
-ArccMemory::gatherGroup(std::uint64_t group_base, PageMode mode)
+void
+ArccMemory::gatherGroupInto(std::uint64_t group_base, PageMode mode,
+                            DeviceSlices &out)
 {
     const LineCodec &codec = codecFor(mode);
     const int dpr = config_.devicesPerRank;
     const int slice = codec.sliceBytes();
-    DeviceSlices slices(codec.devices());
+    out.resize(codec.devices());
 
     for (int d = 0; d < codec.devices(); ++d) {
         int sub = d / dpr;
         Loc loc = locOf(group_base + sub * kLineBytes);
         std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
-        slices[d].assign(p, p + slice);
-        applyOverlay(slices[d], loc.channel, loc.rank, d % dpr, loc);
+        out[d].assign(p, p + slice);
+        applyOverlay(out[d], loc.channel, loc.rank, d % dpr, loc);
     }
+}
+
+DeviceSlices
+ArccMemory::gatherGroup(std::uint64_t group_base, PageMode mode)
+{
+    DeviceSlices slices;
+    gatherGroupInto(group_base, mode, slices);
     return slices;
 }
 
@@ -344,12 +352,13 @@ ArccMemory::storeGroup(std::uint64_t group_base, PageMode mode,
     }
 }
 
-std::vector<int>
-ArccMemory::erasedFor(std::uint64_t group_base, PageMode mode) const
+void
+ArccMemory::erasedInto(std::uint64_t group_base, PageMode mode,
+                       std::vector<int> &out) const
 {
     const LineCodec &codec = codecFor(mode);
     const int dpr = config_.devicesPerRank;
-    std::vector<int> erased;
+    out.clear();
     for (int d = 0; d < codec.devices(); ++d) {
         int sub = d / dpr;
         Loc loc = locOf(group_base + sub * kLineBytes);
@@ -357,29 +366,45 @@ ArccMemory::erasedFor(std::uint64_t group_base, PageMode mode) const
                                        config_.ranksPerChannel +
                                    loc.rank];
         if (std::find(list.begin(), list.end(), d % dpr) != list.end())
-            erased.push_back(d);
+            out.push_back(d);
     }
+}
+
+std::vector<int>
+ArccMemory::erasedFor(std::uint64_t group_base, PageMode mode) const
+{
+    std::vector<int> erased;
+    erasedInto(group_base, mode, erased);
     return erased;
+}
+
+void
+ArccMemory::readGroupInto(std::uint64_t group_base, PageMode mode,
+                          MemoryStats &stats, LineWorkspace &ws,
+                          ReadResult &out)
+{
+    const LineCodec &codec = codecFor(mode);
+    gatherGroupInto(group_base, mode, ws.slices);
+    erasedInto(group_base, mode, ws.erased);
+
+    out.data.resize(codec.dataBytes());
+    codec.decodeInto(ws.slices, out.data, ws.erased, ws, ws.dec);
+    out.status = ws.dec.status;
+    out.symbolsCorrected = ws.dec.symbolsCorrected;
+    stats.deviceReads += codec.devices();
+    if (ws.dec.status == DecodeStatus::Corrected)
+        stats.corrected += ws.dec.symbolsCorrected;
+    if (ws.dec.status == DecodeStatus::Detected)
+        ++stats.dues;
 }
 
 ReadResult
 ArccMemory::readGroup(std::uint64_t group_base, PageMode mode,
                       MemoryStats &stats)
 {
-    const LineCodec &codec = codecFor(mode);
-    DeviceSlices slices = gatherGroup(group_base, mode);
-    std::vector<int> erased = erasedFor(group_base, mode);
-
     ReadResult res;
-    res.data.resize(codec.dataBytes());
-    DecodeResult dec = codec.decode(slices, res.data, erased);
-    res.status = dec.status;
-    res.symbolsCorrected = dec.symbolsCorrected;
-    stats.deviceReads += codec.devices();
-    if (dec.status == DecodeStatus::Corrected)
-        stats.corrected += dec.symbolsCorrected;
-    if (dec.status == DecodeStatus::Detected)
-        ++stats.dues;
+    readGroupInto(group_base, mode, stats,
+                  LineWorkspace::forThisThread(), res);
     return res;
 }
 
@@ -404,17 +429,30 @@ std::vector<ReadResult>
 ArccMemory::accessBatch(std::span<const std::uint64_t> addrs,
                         MemoryStats &stats)
 {
+    // A function-local workspace would also do, but routing through
+    // the thread-default one means repeated batches reuse the same
+    // buffers.
+    static thread_local MemoryWorkspace scratch;
     std::vector<ReadResult> results;
-    results.reserve(addrs.size());
+    accessBatch(addrs, stats, scratch, results);
+    return results;
+}
+
+void
+ArccMemory::accessBatch(std::span<const std::uint64_t> addrs,
+                        MemoryStats &stats, MemoryWorkspace &ws,
+                        std::vector<ReadResult> &results)
+{
+    results.resize(addrs.size());
 
     // One-entry caches for the hot lookups a dense stream repeats:
     // the page's mode and the decoded group.
     std::uint64_t cached_page = ~0ULL;
     PageMode mode = PageMode::Relaxed;
     std::uint64_t cached_base = ~0ULL;
-    ReadResult whole;
 
-    for (std::uint64_t addr : addrs) {
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const std::uint64_t addr = addrs[i];
         ++stats.reads;
         std::uint64_t page = pageOf(addr);
         if (page != cached_page) {
@@ -425,12 +463,11 @@ ArccMemory::accessBatch(std::span<const std::uint64_t> addrs,
         std::uint64_t group = groupBytes(mode);
         std::uint64_t base = addr & ~(group - 1);
         if (base != cached_base) {
-            whole = readGroup(base, mode, stats);
+            readGroupInto(base, mode, stats, ws.line, ws.whole);
             cached_base = base;
         }
-        results.push_back(extractLine(whole, addr, base));
+        extractLineInto(ws.whole, addr, base, results[i]);
     }
-    return results;
 }
 
 ReadResult
@@ -438,13 +475,20 @@ ArccMemory::extractLine(const ReadResult &whole, std::uint64_t addr,
                         std::uint64_t group_base)
 {
     ReadResult res;
-    res.status = whole.status;
-    res.symbolsCorrected = whole.symbolsCorrected;
+    extractLineInto(whole, addr, group_base, res);
+    return res;
+}
+
+void
+ArccMemory::extractLineInto(const ReadResult &whole, std::uint64_t addr,
+                            std::uint64_t group_base, ReadResult &out)
+{
+    out.status = whole.status;
+    out.symbolsCorrected = whole.symbolsCorrected;
     std::size_t off = static_cast<std::size_t>(addr - group_base) &
                       ~(kLineBytes - 1);
-    res.data.assign(whole.data.begin() + off,
+    out.data.assign(whole.data.begin() + off,
                     whole.data.begin() + off + kLineBytes);
-    return res;
 }
 
 ReadResult
@@ -468,13 +512,22 @@ ArccMemory::writeGroup(std::uint64_t addr,
                        std::span<const std::uint8_t> data,
                        MemoryStats &stats)
 {
+    static thread_local MemoryWorkspace scratch;
+    writeGroup(addr, data, stats, scratch);
+}
+
+void
+ArccMemory::writeGroup(std::uint64_t addr,
+                       std::span<const std::uint8_t> data,
+                       MemoryStats &stats, MemoryWorkspace &ws)
+{
     PageMode mode = pageTable_.mode(pageOf(addr));
     const LineCodec &codec = codecFor(mode);
     ARCC_ASSERT(data.size() ==
                 static_cast<std::size_t>(codec.dataBytes()));
     std::uint64_t base = addr & ~(groupBytes(mode) - 1);
-    DeviceSlices slices = codec.encode(data);
-    storeGroup(base, mode, slices);
+    codec.encodeInto(data, ws.line.slices, ws.line);
+    storeGroup(base, mode, ws.line.slices);
     ++stats.writes;
     stats.deviceWrites += codec.devices();
 }
@@ -560,11 +613,18 @@ ArccMemory::rawFill(std::uint64_t addr, std::uint8_t value)
 bool
 ArccMemory::rawCheck(std::uint64_t addr, std::uint8_t value)
 {
+    return rawCheck(addr, value, LineWorkspace::forThisThread());
+}
+
+bool
+ArccMemory::rawCheck(std::uint64_t addr, std::uint8_t value,
+                     LineWorkspace &ws)
+{
     PageMode mode = pageTable_.mode(pageOf(addr));
     const LineCodec &codec = codecFor(mode);
     std::uint64_t base = addr & ~(groupBytes(mode) - 1);
-    DeviceSlices slices = gatherGroup(base, mode);
-    for (const auto &s : slices)
+    gatherGroupInto(base, mode, ws.slices);
+    for (const auto &s : ws.slices)
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(codec.sliceBytes()); ++i)
             if (s[i] != value)
@@ -575,17 +635,25 @@ ArccMemory::rawCheck(std::uint64_t addr, std::uint8_t value)
 std::vector<std::uint8_t>
 ArccMemory::rawSnapshot(std::uint64_t addr)
 {
+    std::vector<std::uint8_t> snap;
+    rawSnapshotInto(addr, snap);
+    return snap;
+}
+
+void
+ArccMemory::rawSnapshotInto(std::uint64_t addr,
+                            std::vector<std::uint8_t> &out)
+{
     PageMode mode = pageTable_.mode(pageOf(addr));
     const LineCodec &codec = codecFor(mode);
     std::uint64_t base = addr & ~(groupBytes(mode) - 1);
     const int dpr = config_.devicesPerRank;
-    std::vector<std::uint8_t> snap;
+    out.clear();
     for (int d = 0; d < codec.devices(); ++d) {
         Loc loc = locOf(base + (d / dpr) * kLineBytes);
         std::uint8_t *p = slicePtr(loc.channel, loc.rank, d % dpr, loc);
-        snap.insert(snap.end(), p, p + codec.sliceBytes());
+        out.insert(out.end(), p, p + codec.sliceBytes());
     }
-    return snap;
 }
 
 void

@@ -126,6 +126,18 @@ struct ReadResult
     std::vector<std::uint8_t> data;
 };
 
+/**
+ * Per-worker scratch for the allocation-free memory paths: the codec
+ * workspace plus the decoded-group staging buffer.  One per shard /
+ * worker, reused across batches.
+ */
+struct MemoryWorkspace
+{
+    LineWorkspace line;
+    /** Whole-group decode staging for the batch read cache. */
+    ReadResult whole;
+};
+
 /** Counters exposed for tests and examples. */
 struct MemoryStats
 {
@@ -213,10 +225,27 @@ class ArccMemory
     accessBatch(std::span<const std::uint64_t> addrs,
                 MemoryStats &stats);
 
+    /**
+     * The fully allocation-free batch read: scratch comes from `ws`
+     * and results land in `results`, whose per-line buffers are
+     * reused across calls.  A steady-state sweep (same batch shape
+     * page after page, e.g. the scrubber's) allocates nothing after
+     * its first batch.  Results and stats accounting are identical to
+     * the owning overloads'.
+     */
+    void accessBatch(std::span<const std::uint64_t> addrs,
+                     MemoryStats &stats, MemoryWorkspace &ws,
+                     std::vector<ReadResult> &results);
+
     /** writeGroup with an explicit stats sink. */
     void writeGroup(std::uint64_t addr,
                     std::span<const std::uint8_t> data,
                     MemoryStats &stats);
+
+    /** writeGroup encoding through a caller-owned workspace. */
+    void writeGroup(std::uint64_t addr,
+                    std::span<const std::uint8_t> data,
+                    MemoryStats &stats, MemoryWorkspace &ws);
 
     /** Fold a parallel sweep's stats delta into stats(). */
     void addStats(const MemoryStats &delta) { stats_ += delta; }
@@ -248,8 +277,14 @@ class ArccMemory
     void rawFill(std::uint64_t addr, std::uint8_t value);
     /** @return true when every slice byte reads back as `value`. */
     bool rawCheck(std::uint64_t addr, std::uint8_t value);
+    /** rawCheck gathering through a caller-owned workspace. */
+    bool rawCheck(std::uint64_t addr, std::uint8_t value,
+                  LineWorkspace &ws);
     /** Snapshot the raw slices of the line's group. */
     std::vector<std::uint8_t> rawSnapshot(std::uint64_t addr);
+    /** rawSnapshot into an existing buffer, reusing its storage. */
+    void rawSnapshotInto(std::uint64_t addr,
+                         std::vector<std::uint8_t> &out);
     /** Restore a snapshot taken by rawSnapshot. */
     void rawRestore(std::uint64_t addr,
                     std::span<const std::uint8_t> snapshot);
@@ -287,12 +322,18 @@ class ArccMemory
 
     /** Gather (overlay-applied) slices for the group holding addr. */
     DeviceSlices gatherGroup(std::uint64_t group_base, PageMode mode);
+    /** Gather into an existing buffer, reusing its storage. */
+    void gatherGroupInto(std::uint64_t group_base, PageMode mode,
+                         DeviceSlices &out);
     /** Store encoded slices for the group holding addr. */
     void storeGroup(std::uint64_t group_base, PageMode mode,
                     const DeviceSlices &slices);
     /** Erased-device indices in codec ordering for a group. */
     std::vector<int> erasedFor(std::uint64_t group_base,
                                PageMode mode) const;
+    /** Erased-device indices into an existing buffer. */
+    void erasedInto(std::uint64_t group_base, PageMode mode,
+                    std::vector<int> &out) const;
 
     /** Apply fault overlays to a slice just read. */
     void applyOverlay(std::span<std::uint8_t> bytes, int channel,
@@ -303,10 +344,22 @@ class ArccMemory
     ReadResult readGroup(std::uint64_t group_base, PageMode mode,
                          MemoryStats &stats);
 
+    /** The allocation-free core of readGroup: scratch from `ws`,
+     *  result into `out` (buffers reused across calls). */
+    void readGroupInto(std::uint64_t group_base, PageMode mode,
+                       MemoryStats &stats, LineWorkspace &ws,
+                       ReadResult &out);
+
     /** Slice one 64B line out of a decoded group's result. */
     static ReadResult extractLine(const ReadResult &whole,
                                   std::uint64_t addr,
                                   std::uint64_t group_base);
+
+    /** extractLine into an existing result, reusing its buffer. */
+    static void extractLineInto(const ReadResult &whole,
+                                std::uint64_t addr,
+                                std::uint64_t group_base,
+                                ReadResult &out);
 
     FunctionalConfig config_;
     std::unique_ptr<LineCodec> relaxedCodec_;

@@ -1,6 +1,12 @@
 /**
  * @file
  * Line codec implementations.
+ *
+ * All codecs implement the allocation-free encodeInto / decodeInto
+ * pair; the owning encode / decode entry points are convenience
+ * wrappers over them (decode borrows the calling thread's
+ * LineWorkspace, so even legacy callers stop paying per-call heap
+ * traffic after warm-up).
  */
 
 #include "arcc/ecc_scheme.hh"
@@ -9,6 +15,31 @@
 
 namespace arcc
 {
+
+LineWorkspace &
+LineWorkspace::forThisThread()
+{
+    static thread_local LineWorkspace ws;
+    return ws;
+}
+
+DeviceSlices
+LineCodec::encode(std::span<const std::uint8_t> data) const
+{
+    DeviceSlices out;
+    encodeInto(data, out, LineWorkspace::forThisThread());
+    return out;
+}
+
+DecodeResult
+LineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
+                  std::span<const int> erased) const
+{
+    DecodeResult out;
+    decodeInto(slices, data, erased, LineWorkspace::forThisThread(),
+               out);
+    return out;
+}
 
 // ---------------------------------------------------------------------
 // RsLineCodec
@@ -27,57 +58,68 @@ RsLineCodec::RsLineCodec(int n, int k, int data_bytes, int max_correct,
               data_bytes, n, k);
 }
 
-DeviceSlices
-RsLineCodec::encode(std::span<const std::uint8_t> data) const
+void
+RsLineCodec::encodeInto(std::span<const std::uint8_t> data,
+                        DeviceSlices &out, LineWorkspace &ws) const
 {
     ARCC_ASSERT(data.size() == static_cast<std::size_t>(dataBytes_));
     const int n = rs_.n();
     const int k = rs_.k();
-    DeviceSlices slices(n, std::vector<std::uint8_t>(codewords_, 0));
+    out.resize(n);
+    for (int d = 0; d < n; ++d)
+        out[d].resize(codewords_);
 
-    std::vector<std::uint8_t> word(n);
+    const std::span<std::uint8_t> word(ws.rs.word.data(),
+                                       static_cast<std::size_t>(n));
     for (int c = 0; c < codewords_; ++c) {
         for (int s = 0; s < k; ++s)
             word[s] = data[c * k + s];
         rs_.encode(word);
         for (int d = 0; d < n; ++d)
-            slices[d][c] = word[d];
+            out[d][c] = word[d];
     }
-    return slices;
 }
 
-DecodeResult
-RsLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
-                    std::span<const int> erased) const
+void
+RsLineCodec::decodeInto(DeviceSlices &slices,
+                        std::span<std::uint8_t> data,
+                        std::span<const int> erased, LineWorkspace &ws,
+                        DecodeResult &out) const
 {
     ARCC_ASSERT(slices.size() == static_cast<std::size_t>(rs_.n()));
     ARCC_ASSERT(data.size() == static_cast<std::size_t>(dataBytes_));
     const int n = rs_.n();
     const int k = rs_.k();
 
-    DecodeResult agg;
-    std::vector<std::uint8_t> word(n);
+    out.status = DecodeStatus::Clean;
+    out.symbolsCorrected = 0;
+    out.positions.clear();
+
+    // The codeword staging buffer lives beside the RS scratch (the
+    // decoder never touches ws.rs.word).
+    const std::span<std::uint8_t> word(ws.rs.word.data(),
+                                       static_cast<std::size_t>(n));
     for (int c = 0; c < codewords_; ++c) {
         for (int d = 0; d < n; ++d)
             word[d] = slices[d][c];
-        DecodeResult res = rs_.decode(word, maxCorrect_, erased);
+        const RsDecodeView res =
+            rs_.decode(word, ws.rs, maxCorrect_, erased);
         if (res.status == DecodeStatus::Detected) {
-            agg.status = DecodeStatus::Detected;
+            out.status = DecodeStatus::Detected;
             continue;
         }
         if (res.status == DecodeStatus::Corrected) {
-            if (agg.status != DecodeStatus::Detected)
-                agg.status = DecodeStatus::Corrected;
-            agg.symbolsCorrected += res.symbolsCorrected;
+            if (out.status != DecodeStatus::Detected)
+                out.status = DecodeStatus::Corrected;
+            out.symbolsCorrected += res.symbolsCorrected;
             for (int p : res.positions) {
-                agg.positions.push_back(p);
+                out.positions.push_back(p);
                 slices[p][c] = word[p]; // write the fix back.
             }
         }
         for (int s = 0; s < k; ++s)
             data[c * k + s] = word[s];
     }
-    return agg;
 }
 
 // ---------------------------------------------------------------------
@@ -89,29 +131,44 @@ LotLineCodec::LotLineCodec(int data_devices, int line_bytes)
 {
 }
 
-DeviceSlices
-LotLineCodec::encode(std::span<const std::uint8_t> data) const
+void
+LotLineCodec::encodeInto(std::span<const std::uint8_t> data,
+                         DeviceSlices &out, LineWorkspace &ws) const
 {
-    LotLine line = lot_.encode(data);
+    ARCC_ASSERT(data.size() == static_cast<std::size_t>(dataBytes_));
+
+    // LotEcc owns the layout (striping, parity, checksums); this
+    // codec only serialises it into the per-device wire format of
+    // slice + embedded big-endian checksum.
+    LotLine &line = ws.lot;
+    lot_.encodeInto(data, line);
+
     const int dev = devices();
-    DeviceSlices slices(dev);
+    const int sb = lot_.sliceBytes();
+    out.resize(dev);
     for (int d = 0; d < dev; ++d) {
-        slices[d] = line.slices[d];
-        slices[d].push_back(
-            static_cast<std::uint8_t>(line.checksums[d] >> 8));
-        slices[d].push_back(
-            static_cast<std::uint8_t>(line.checksums[d] & 0xff));
+        out[d].resize(sb + 2);
+        std::copy(line.slices[d].begin(), line.slices[d].end(),
+                  out[d].begin());
+        out[d][sb] = static_cast<std::uint8_t>(line.checksums[d] >> 8);
+        out[d][sb + 1] =
+            static_cast<std::uint8_t>(line.checksums[d] & 0xff);
     }
-    return slices;
 }
 
-DecodeResult
-LotLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
-                     std::span<const int> erased) const
+void
+LotLineCodec::decodeInto(DeviceSlices &slices,
+                         std::span<std::uint8_t> data,
+                         std::span<const int> erased, LineWorkspace &ws,
+                         DecodeResult &out) const
 {
     ARCC_ASSERT(slices.size() == static_cast<std::size_t>(devices()));
 
-    LotLine line;
+    out.status = DecodeStatus::Clean;
+    out.symbolsCorrected = 0;
+    out.positions.clear();
+
+    LotLine &line = ws.lot;
     line.slices.resize(devices());
     line.checksums.resize(devices());
     for (int d = 0; d < devices(); ++d) {
@@ -130,15 +187,14 @@ LotLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
             ~OnesComplement16::compute(line.slices[d]));
 
     LotDecodeResult lres = lot_.decode(line);
-    DecodeResult res;
     if (lres.status == DecodeStatus::Detected) {
-        res.status = DecodeStatus::Detected;
-        return res;
+        out.status = DecodeStatus::Detected;
+        return;
     }
     if (lres.status == DecodeStatus::Corrected) {
-        res.status = DecodeStatus::Corrected;
-        res.symbolsCorrected = 1;
-        res.positions.push_back(lres.deviceCorrected);
+        out.status = DecodeStatus::Corrected;
+        out.symbolsCorrected = 1;
+        out.positions.push_back(lres.deviceCorrected);
         int d = lres.deviceCorrected;
         for (std::size_t i = 0; i < line.slices[d].size(); ++i)
             slices[d][i] = line.slices[d][i];
@@ -147,10 +203,10 @@ LotLineCodec::decode(DeviceSlices &slices, std::span<std::uint8_t> data,
         slices[d][slices[d].size() - 1] =
             static_cast<std::uint8_t>(line.checksums[d] & 0xff);
     }
-    auto bytes = lot_.extract(line);
-    ARCC_ASSERT(bytes.size() == data.size());
-    std::copy(bytes.begin(), bytes.end(), data.begin());
-    return res;
+    ARCC_ASSERT(data.size() ==
+                static_cast<std::size_t>(lot_.dataDevices()) *
+                    lot_.sliceBytes());
+    lot_.extractInto(line, data);
 }
 
 // ---------------------------------------------------------------------

@@ -31,12 +31,40 @@
 
 #include "ecc/lot_ecc.hh"
 #include "ecc/reed_solomon.hh"
+#include "ecc/rs_workspace.hh"
 
 namespace arcc
 {
 
 /** Per-device slices of one encoded line. */
 using DeviceSlices = std::vector<std::vector<std::uint8_t>>;
+
+/**
+ * Scratch arena for one in-flight line encode / decode: the
+ * Reed-Solomon workspace plus staging buffers whose heap storage is
+ * reused across calls, so a steady-state sweep (same codec, same
+ * geometry) performs zero allocations after its first group.  One per
+ * SimEngine worker / shard; not thread-safe.
+ */
+struct LineWorkspace
+{
+    RsWorkspace rs;
+    /** Gathered per-device slices (storage reused across groups). */
+    DeviceSlices slices;
+    /** LOT-ECC line staging. */
+    LotLine lot;
+    /** Erased-device list scratch for the memory model. */
+    std::vector<int> erased;
+    /** Decode-result scratch (positions keeps its capacity). */
+    DecodeResult dec;
+
+    /**
+     * The calling thread's default workspace.  Thread-local, so every
+     * worker gets its own with no plumbing; sharded sweeps that want
+     * explicit ownership construct their own per shard.
+     */
+    static LineWorkspace &forThisThread();
+};
 
 /**
  * Abstract line codec: data line <-> per-device slices.
@@ -53,17 +81,37 @@ class LineCodec
     /** Data payload per line (64, 128 or 256). */
     virtual int dataBytes() const = 0;
 
-    /** Encode data into per-device slices. */
-    virtual DeviceSlices encode(
-        std::span<const std::uint8_t> data) const = 0;
+    /** Encode data into per-device slices (owning convenience). */
+    DeviceSlices encode(std::span<const std::uint8_t> data) const;
 
     /**
-     * Decode slices into data, correcting in place.
+     * Encode data into an existing slices buffer, reusing its heap
+     * storage and staging through `ws`: allocation-free once `out`
+     * has reached shape.
+     */
+    virtual void encodeInto(std::span<const std::uint8_t> data,
+                            DeviceSlices &out,
+                            LineWorkspace &ws) const = 0;
+
+    /**
+     * Decode slices into data, correcting in place (convenience;
+     * scratch comes from the calling thread's LineWorkspace).
      * @param erased device indices known bad (chip sparing).
      */
-    virtual DecodeResult decode(
-        DeviceSlices &slices, std::span<std::uint8_t> data,
-        std::span<const int> erased = {}) const = 0;
+    DecodeResult decode(DeviceSlices &slices,
+                        std::span<std::uint8_t> data,
+                        std::span<const int> erased = {}) const;
+
+    /**
+     * Allocation-free decode: all scratch comes from `ws`, and the
+     * result lands in `out` reusing its buffers (positions keeps its
+     * capacity across calls).
+     */
+    virtual void decodeInto(DeviceSlices &slices,
+                            std::span<std::uint8_t> data,
+                            std::span<const int> erased,
+                            LineWorkspace &ws,
+                            DecodeResult &out) const = 0;
 
     /** Human-readable description. */
     virtual const char *name() const = 0;
@@ -91,11 +139,12 @@ class RsLineCodec : public LineCodec
     int sliceBytes() const override { return codewords_; }
     int dataBytes() const override { return dataBytes_; }
 
-    DeviceSlices encode(std::span<const std::uint8_t> data) const
-        override;
-    DecodeResult decode(DeviceSlices &slices,
-                        std::span<std::uint8_t> data,
-                        std::span<const int> erased = {}) const override;
+    void encodeInto(std::span<const std::uint8_t> data,
+                    DeviceSlices &out,
+                    LineWorkspace &ws) const override;
+    void decodeInto(DeviceSlices &slices, std::span<std::uint8_t> data,
+                    std::span<const int> erased, LineWorkspace &ws,
+                    DecodeResult &out) const override;
     const char *name() const override { return name_; }
 
     int maxCorrect() const { return maxCorrect_; }
@@ -135,11 +184,12 @@ class LotLineCodec : public LineCodec
     }
     int dataBytes() const override { return dataBytes_; }
 
-    DeviceSlices encode(std::span<const std::uint8_t> data) const
-        override;
-    DecodeResult decode(DeviceSlices &slices,
-                        std::span<std::uint8_t> data,
-                        std::span<const int> erased = {}) const override;
+    void encodeInto(std::span<const std::uint8_t> data,
+                    DeviceSlices &out,
+                    LineWorkspace &ws) const override;
+    void decodeInto(DeviceSlices &slices, std::span<std::uint8_t> data,
+                    std::span<const int> erased, LineWorkspace &ws,
+                    DecodeResult &out) const override;
     const char *
     name() const override
     {

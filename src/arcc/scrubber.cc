@@ -105,7 +105,8 @@ Scrubber::scrub(ArccMemory &memory) const
 
 void
 Scrubber::sweepPage(ArccMemory &memory, std::uint64_t page,
-                    ScrubReport &report, MemoryStats &stats) const
+                    ScrubReport &report, MemoryStats &stats,
+                    ScrubScratch &scratch) const
 {
     PageMode mode = memory.pageTable().mode(page);
     const std::uint64_t group = memory.groupBytes(mode);
@@ -116,16 +117,18 @@ Scrubber::sweepPage(ArccMemory &memory, std::uint64_t page,
     // Raw snapshots first: uncorrectable groups must get their
     // original bits back in step 4 (reads do not mutate, so taking
     // them up front is equivalent to the serial order).
-    std::vector<std::vector<std::uint8_t>> snaps(groups);
+    scratch.snaps.resize(groups);
     for (std::uint64_t g = 0; g < groups; ++g)
-        snaps[g] = memory.rawSnapshot(base + g * group);
+        memory.rawSnapshotInto(base + g * group, scratch.snaps[g]);
 
     // Step 1 for the whole page in one batch: one page-table lookup
     // and one decode per group instead of one of each per call.
-    std::vector<std::uint64_t> addrs(kLinesPerPage);
+    scratch.addrs.resize(kLinesPerPage);
     for (std::uint64_t i = 0; i < kLinesPerPage; ++i)
-        addrs[i] = base + i * kLineBytes;
-    std::vector<ReadResult> lines = memory.accessBatch(addrs, stats);
+        scratch.addrs[i] = base + i * kLineBytes;
+    memory.accessBatch(scratch.addrs, stats, scratch.mem,
+                       scratch.lines);
+    const std::vector<ReadResult> &lines = scratch.lines;
 
     bool page_bad = false;
     for (std::uint64_t g = 0; g < groups; ++g) {
@@ -146,13 +149,13 @@ Scrubber::sweepPage(ArccMemory &memory, std::uint64_t page,
         if (config_.testPatterns) {
             // Step 2: all-0 pattern; surviving 1s = stuck-at-1.
             memory.rawFill(addr, 0x00);
-            if (!memory.rawCheck(addr, 0x00)) {
+            if (!memory.rawCheck(addr, 0x00, scratch.mem.line)) {
                 ++report.stuckAt1Found;
                 page_bad = true;
             }
             // Step 3: all-1 pattern; surviving 0s = stuck-at-0.
             memory.rawFill(addr, 0xff);
-            if (!memory.rawCheck(addr, 0xff)) {
+            if (!memory.rawCheck(addr, 0xff, scratch.mem.line)) {
                 ++report.stuckAt0Found;
                 page_bad = true;
             }
@@ -161,15 +164,16 @@ Scrubber::sweepPage(ArccMemory &memory, std::uint64_t page,
         // Step 4: restore, reassembling the group's corrected data
         // from its per-line batch results.
         if (first.status == DecodeStatus::Detected) {
-            memory.rawRestore(addr, snaps[g]);
+            memory.rawRestore(addr, scratch.snaps[g]);
         } else {
-            std::vector<std::uint8_t> data;
-            data.reserve(group);
+            scratch.data.clear();
+            scratch.data.reserve(group);
             for (std::uint64_t l = 0; l < lines_per_group; ++l) {
                 const ReadResult &r = lines[g * lines_per_group + l];
-                data.insert(data.end(), r.data.begin(), r.data.end());
+                scratch.data.insert(scratch.data.end(), r.data.begin(),
+                                    r.data.end());
             }
-            memory.writeGroup(addr, data, stats);
+            memory.writeGroup(addr, scratch.data, stats, scratch.mem);
         }
     }
 
@@ -195,9 +199,13 @@ Scrubber::scrubParallel(ArccMemory &memory, SimEngine *engine) const
     ShardResult merged = engine->reduceShards(
         pages, kShardPages,
         [&](const ShardRange &shard) {
+            // Shard-owned scratch: every page of the shard reuses the
+            // same decode workspace and staging buffers.
+            ScrubScratch scratch;
             ShardResult partial;
             for (std::uint64_t p = shard.begin; p < shard.end; ++p)
-                sweepPage(memory, p, partial.report, partial.stats);
+                sweepPage(memory, p, partial.report, partial.stats,
+                          scratch);
             return partial;
         },
         [](std::vector<ShardResult> &&partials) {

@@ -57,6 +57,25 @@ struct ScrubReport
     bool operator==(const ScrubReport &o) const = default;
 };
 
+/**
+ * Per-shard scratch for the scrub sweep: the memory workspace the
+ * decode pipeline runs in, plus the sweep's own staging buffers.  All
+ * heap storage is reused page after page, so a steady-state sweep
+ * allocates nothing after its first page.
+ */
+struct ScrubScratch
+{
+    MemoryWorkspace mem;
+    /** Line addresses of the page being swept. */
+    std::vector<std::uint64_t> addrs;
+    /** Per-line batch results. */
+    std::vector<ReadResult> lines;
+    /** Raw pre-sweep snapshots, one per group. */
+    std::vector<std::vector<std::uint8_t>> snaps;
+    /** Reassembled group data for the restore write. */
+    std::vector<std::uint8_t> data;
+};
+
 /** Scrubber policy knobs. */
 struct ScrubberConfig
 {
@@ -128,9 +147,12 @@ class Scrubber
 
   private:
     /** One page's sweep (steps 1-4 per group), batched reads; flags
-     *  the page in `report` and accumulates decode work in `stats`. */
+     *  the page in `report` and accumulates decode work in `stats`.
+     *  All scratch comes from the shard-owned `scratch`, so the sweep
+     *  is allocation-free in steady state. */
     void sweepPage(ArccMemory &memory, std::uint64_t page,
-                   ScrubReport &report, MemoryStats &stats) const;
+                   ScrubReport &report, MemoryStats &stats,
+                   ScrubScratch &scratch) const;
 
     /** End-of-scrub page-mode transitions, one ordered pass; fills
      *  report.faultyPages / pagesUpgraded / pagesRelaxed. */

@@ -54,7 +54,8 @@ VeccMemory::write(std::uint64_t line,
                 static_cast<std::size_t>(geom_.dataDevices));
     ++stats_.writes;
 
-    std::vector<std::uint8_t> word(geom_.devices);
+    const std::span<std::uint8_t> word(
+        ws_.word.data(), static_cast<std::size_t>(geom_.devices));
     std::copy(data.begin(), data.end(), word.begin());
     rs_.encode(word);
     std::copy(word.begin(), word.end(),
@@ -88,29 +89,23 @@ VeccMemory::corrupt(std::uint64_t line,
     }
 }
 
-VeccReadResult
-VeccMemory::read(std::uint64_t line)
+std::span<std::uint8_t>
+VeccMemory::gather(std::uint64_t line)
 {
-    ARCC_ASSERT(line < lines_);
-    ++stats_.reads;
-
-    VeccReadResult res;
-    std::vector<std::uint8_t> word(
-        inline_.begin() + line * geom_.devices,
-        inline_.begin() + (line + 1) * geom_.devices);
+    const std::span<std::uint8_t> word(
+        ws_.word.data(), static_cast<std::size_t>(geom_.devices));
+    std::copy(inline_.begin() + line * geom_.devices,
+              inline_.begin() + (line + 1) * geom_.devices,
+              word.begin());
     corrupt(line, word);
-    res.deviceAccesses = geom_.devices;
+    return word;
+}
 
-    // Tier-1 fast path: detection only (maxCorrect = 0).
-    DecodeResult fast = rs_.decode(word, /*maxCorrect=*/0);
-    if (fast.status == DecodeStatus::Clean) {
-        res.status = DecodeStatus::Clean;
-        res.data.assign(word.begin(),
-                        word.begin() + geom_.dataDevices);
-        stats_.deviceAccesses += res.deviceAccesses;
-        return res;
-    }
-
+void
+VeccMemory::tier2Decode(std::uint64_t line,
+                        std::span<std::uint8_t> word,
+                        VeccReadResult &res)
+{
     // Error detected: fetch the tier-2 symbols (a second access, to a
     // different rank -> 2x the devices) and decode with the extended
     // syndrome set.
@@ -118,7 +113,7 @@ VeccMemory::read(std::uint64_t line)
     ++stats_.tier2Fetches;
     res.deviceAccesses += geom_.devices;
 
-    std::vector<std::uint8_t> synd(geom_.totalChecks());
+    std::uint8_t synd[RsWorkspace::kMaxChecks];
     for (int j = 0; j < geom_.inlineChecks(); ++j)
         synd[j] = rs_.evalAt(word, j);
     for (int j = 0; j < geom_.tier2Symbols; ++j) {
@@ -129,8 +124,11 @@ VeccMemory::read(std::uint64_t line)
     }
 
     int max_correct = geom_.totalChecks() / 2;
-    DecodeResult full =
-        rs_.decodeWithSyndromes(word, synd, max_correct);
+    RsDecodeView full = rs_.decodeWithSyndromes(
+        word,
+        std::span<const std::uint8_t>(
+            synd, static_cast<std::size_t>(geom_.totalChecks())),
+        ws_, max_correct);
     res.status = full.status;
     if (full.status == DecodeStatus::Corrected)
         stats_.corrected += full.symbolsCorrected;
@@ -138,7 +136,82 @@ VeccMemory::read(std::uint64_t line)
         ++stats_.dues;
     res.data.assign(word.begin(), word.begin() + geom_.dataDevices);
     stats_.deviceAccesses += res.deviceAccesses;
+}
+
+VeccReadResult
+VeccMemory::read(std::uint64_t line)
+{
+    ARCC_ASSERT(line < lines_);
+    ++stats_.reads;
+
+    VeccReadResult res;
+    const std::span<std::uint8_t> word = gather(line);
+    res.deviceAccesses = geom_.devices;
+
+    // Tier-1 fast path: detection only (a zero syndrome screen; with
+    // maxCorrect = 0 the decoder flags every non-zero pattern, so the
+    // screen and the old detection-only decode are the same test).
+    if (!rs_.computeSyndromes(
+            word, std::span<std::uint8_t>(
+                      ws_.synd.data(),
+                      static_cast<std::size_t>(geom_.inlineChecks())))) {
+        res.status = DecodeStatus::Clean;
+        res.data.assign(word.begin(),
+                        word.begin() + geom_.dataDevices);
+        stats_.deviceAccesses += res.deviceAccesses;
+        return res;
+    }
+
+    tier2Decode(line, word, res);
     return res;
+}
+
+void
+VeccMemory::readBatch(std::span<const std::uint64_t> lines,
+                      std::vector<VeccReadResult> &out)
+{
+    out.resize(lines.size());
+
+    // Phase 1: the tier-1 syndrome screen over the whole batch.
+    // Clean lines (the overwhelmingly common case) complete here
+    // allocation-free; flagged lines stash their corrupted inline
+    // word and queue for the tier-2 pass.
+    flagged_.clear();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::uint64_t line = lines[i];
+        ARCC_ASSERT(line < lines_);
+        ++stats_.reads;
+        VeccReadResult &res = out[i];
+        res.tier2Fetched = false;
+        res.deviceAccesses = geom_.devices;
+
+        const std::span<std::uint8_t> word = gather(line);
+        if (!rs_.computeSyndromes(
+                word,
+                std::span<std::uint8_t>(
+                    ws_.synd.data(),
+                    static_cast<std::size_t>(geom_.inlineChecks())))) {
+            res.status = DecodeStatus::Clean;
+            res.data.assign(word.begin(),
+                            word.begin() + geom_.dataDevices);
+            stats_.deviceAccesses += res.deviceAccesses;
+        } else {
+            // Park the gathered word (device count symbols) in the
+            // result buffer until the tier-2 pass reshapes it.
+            res.data.assign(word.begin(), word.end());
+            flagged_.push_back(i);
+        }
+    }
+
+    // Phase 2: grouped tier-2 fetch + extended-syndrome decode for
+    // the flagged lines, back to back over one workspace.
+    for (std::size_t i : flagged_) {
+        VeccReadResult &res = out[i];
+        const std::span<std::uint8_t> word(
+            ws_.word.data(), static_cast<std::size_t>(geom_.devices));
+        std::copy(res.data.begin(), res.data.end(), word.begin());
+        tier2Decode(lines[i], word, res);
+    }
 }
 
 void

@@ -113,6 +113,22 @@ class VeccMemory
     /** Read one line: tier-1 fast path, tier-2 on detection. */
     VeccReadResult read(std::uint64_t line);
 
+    /**
+     * Batched read: the tier-1 syndrome screen runs over the whole
+     * batch first (allocation-free per line), then the lines it
+     * flagged take one grouped tier-2 pass -- fetching their
+     * virtualised symbols and running the extended-syndrome decode
+     * back to back over one reused workspace, the way a memory
+     * controller would burst the tier-2 fetches of a faulty rank.
+     *
+     * `out` is resized to lines.size(); its per-line buffers are
+     * reused across calls, so a steady-state caller allocates nothing
+     * after the first batch.  Results and stats are identical to
+     * calling read() per line in order.
+     */
+    void readBatch(std::span<const std::uint64_t> lines,
+                   std::vector<VeccReadResult> &out);
+
     /** Mark a device bad: its symbol is corrupted on every read. */
     void killDevice(int device);
     /** Clear injected faults. */
@@ -126,6 +142,14 @@ class VeccMemory
     void corrupt(std::uint64_t line,
                  std::span<std::uint8_t> word) const;
 
+    /** Gather + corrupt a line's inline word into ws_.word. */
+    std::span<std::uint8_t> gather(std::uint64_t line);
+
+    /** The tier-2 path: fetch the virtualised symbols and decode
+     *  with the extended syndrome set.  `word` is ws_.word. */
+    void tier2Decode(std::uint64_t line, std::span<std::uint8_t> word,
+                     VeccReadResult &res);
+
     VeccGeometry geom_;
     ReedSolomon rs_;
     std::uint64_t lines_;
@@ -138,6 +162,11 @@ class VeccMemory
     std::vector<std::uint8_t> tier2_;
     std::vector<int> deadDevices_;
     VeccStats stats_;
+
+    /** Decode scratch (this memory is single-owner, like its Rng). */
+    RsWorkspace ws_;
+    /** Batch indices flagged for the tier-2 pass. */
+    std::vector<std::size_t> flagged_;
 };
 
 } // namespace arcc

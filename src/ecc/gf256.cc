@@ -14,14 +14,17 @@ namespace
 struct Tables
 {
     std::array<std::uint8_t, 256> exp{};
-    std::array<int, 256> log{};
+    std::array<std::uint8_t, 256> log{};
+    /** Full product table, mul[a * 256 + b] = a * b.  64 KiB. */
+    std::array<std::uint8_t, 256 * 256> mul{};
 
     Tables()
     {
         std::uint16_t x = 1;
         for (int i = 0; i < GF256::kGroupOrder; ++i) {
             exp[i] = static_cast<std::uint8_t>(x);
-            log[static_cast<std::uint8_t>(x)] = i;
+            log[static_cast<std::uint8_t>(x)] =
+                static_cast<std::uint8_t>(i);
             x <<= 1;
             if (x & 0x100)
                 x ^= GF256::kPoly;
@@ -30,6 +33,19 @@ struct Tables
         // reached without the modulo (it is not, but keep it sane).
         exp[255] = exp[0];
         log[0] = 0; // undefined; callers must not ask for log(0).
+
+        // Product table from the log/exp pair; rows 0 and columns 0
+        // stay zero from value initialisation.
+        for (int a = 1; a < 256; ++a) {
+            std::uint8_t *row = mul.data() +
+                                static_cast<std::size_t>(a) * 256;
+            for (int b = 1; b < 256; ++b) {
+                int s = log[a] + log[b];
+                if (s >= GF256::kGroupOrder)
+                    s -= GF256::kGroupOrder;
+                row[b] = exp[s];
+            }
+        }
     }
 };
 
@@ -48,10 +64,16 @@ GF256::expTable()
     return tables().exp;
 }
 
-const std::array<int, 256> &
+const std::array<std::uint8_t, 256> &
 GF256::logTable()
 {
     return tables().log;
+}
+
+const std::uint8_t *
+GF256::mulTable()
+{
+    return tables().mul.data();
 }
 
 } // namespace arcc

@@ -5,6 +5,8 @@
 
 #include "ecc/lot_ecc.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace arcc
@@ -19,25 +21,36 @@ LotEcc::LotEcc(int dataDevices, int lineBytes)
         fatal("LotEcc: line of %d bytes does not stripe over %d devices",
               lineBytes, dataDevices);
     sliceBytes_ = lineBytes / dataDevices;
+    if (sliceBytes_ > kMaxSliceBytes)
+        fatal("LotEcc: %dB slices exceed the supported %dB",
+              sliceBytes_, kMaxSliceBytes);
+}
+
+void
+LotEcc::encodeInto(std::span<const std::uint8_t> line, LotLine &out) const
+{
+    ARCC_ASSERT(line.size() == static_cast<std::size_t>(lineBytes_));
+    out.slices.resize(dataDevices_ + 1);
+    out.checksums.resize(dataDevices_ + 1);
+
+    std::uint8_t parity[kMaxSliceBytes] = {};
+    for (int d = 0; d < dataDevices_; ++d) {
+        auto first = line.begin() + d * sliceBytes_;
+        out.slices[d].assign(first, first + sliceBytes_);
+        for (int i = 0; i < sliceBytes_; ++i)
+            parity[i] ^= out.slices[d][i];
+        out.checksums[d] = OnesComplement16::compute(out.slices[d]);
+    }
+    out.slices[dataDevices_].assign(parity, parity + sliceBytes_);
+    out.checksums[dataDevices_] =
+        OnesComplement16::compute(out.slices[dataDevices_]);
 }
 
 LotLine
 LotEcc::encode(std::span<const std::uint8_t> line) const
 {
-    ARCC_ASSERT(line.size() == static_cast<std::size_t>(lineBytes_));
     LotLine out;
-    out.slices.resize(dataDevices_ + 1);
-    out.checksums.resize(dataDevices_ + 1);
-
-    std::vector<std::uint8_t> parity(sliceBytes_, 0);
-    for (int d = 0; d < dataDevices_; ++d) {
-        auto first = line.begin() + d * sliceBytes_;
-        out.slices[d].assign(first, first + sliceBytes_);
-        xorInto(parity, out.slices[d]);
-        out.checksums[d] = OnesComplement16::compute(out.slices[d]);
-    }
-    out.slices[dataDevices_] = parity;
-    out.checksums[dataDevices_] = OnesComplement16::compute(parity);
+    encodeInto(line, out);
     return out;
 }
 
@@ -49,48 +62,65 @@ LotEcc::decode(LotLine &line) const
 
     LotDecodeResult res;
 
-    // Tier-1: localise via the per-device checksums.
-    std::vector<int> bad;
+    // Tier-1: localise via the per-device checksums.  At most two
+    // mismatches matter (a second one already means Detected).
+    int bad_count = 0;
+    int victim = -1;
     for (int d = 0; d <= dataDevices_; ++d) {
-        if (!OnesComplement16::verify(line.slices[d], line.checksums[d]))
-            bad.push_back(d);
+        if (!OnesComplement16::verify(line.slices[d],
+                                      line.checksums[d])) {
+            if (bad_count == 0)
+                victim = d;
+            ++bad_count;
+        }
     }
 
-    if (bad.empty()) {
+    if (bad_count == 0) {
         // Either genuinely clean or an aliasing corruption the real
         // scheme would also miss.  Faithfully report Clean.
         res.status = DecodeStatus::Clean;
         return res;
     }
-    if (bad.size() > 1) {
+    if (bad_count > 1) {
         res.status = DecodeStatus::Detected;
         return res;
     }
 
     // Tier-2: reconstruct the single bad slice from the XOR of all the
     // other slices (parity included, unless parity itself is bad).
-    int victim = bad.front();
-    std::vector<std::uint8_t> rebuilt(sliceBytes_, 0);
+    ARCC_ASSERT(line.slices[victim].size() ==
+                static_cast<std::size_t>(sliceBytes_));
+    std::uint8_t rebuilt[kMaxSliceBytes] = {};
     for (int d = 0; d <= dataDevices_; ++d) {
         if (d != victim)
-            xorInto(rebuilt, line.slices[d]);
+            for (int i = 0; i < sliceBytes_; ++i)
+                rebuilt[i] ^= line.slices[d][i];
     }
-    line.slices[victim] = rebuilt;
-    line.checksums[victim] = OnesComplement16::compute(rebuilt);
+    std::copy(rebuilt, rebuilt + sliceBytes_,
+              line.slices[victim].begin());
+    line.checksums[victim] = OnesComplement16::compute(
+        line.slices[victim]);
 
     res.status = DecodeStatus::Corrected;
     res.deviceCorrected = victim;
     return res;
 }
 
+void
+LotEcc::extractInto(const LotLine &line,
+                    std::span<std::uint8_t> out) const
+{
+    ARCC_ASSERT(out.size() == static_cast<std::size_t>(lineBytes_));
+    for (int d = 0; d < dataDevices_; ++d)
+        std::copy(line.slices[d].begin(), line.slices[d].end(),
+                  out.begin() + d * sliceBytes_);
+}
+
 std::vector<std::uint8_t>
 LotEcc::extract(const LotLine &line) const
 {
-    std::vector<std::uint8_t> out;
-    out.reserve(lineBytes_);
-    for (int d = 0; d < dataDevices_; ++d)
-        out.insert(out.end(), line.slices[d].begin(),
-                   line.slices[d].end());
+    std::vector<std::uint8_t> out(lineBytes_);
+    extractInto(line, out);
     return out;
 }
 

@@ -75,11 +75,30 @@ class LotEcc
      * Verify a line and correct at most one bad device in place.
      * Localisation uses the checksums; correction uses XOR parity.
      * Two or more checksum mismatches are Detected (uncorrectable).
+     * Allocation-free.
      */
     LotDecodeResult decode(LotLine &line) const;
 
     /** Reassemble the data bytes of a (verified) line. */
     std::vector<std::uint8_t> extract(const LotLine &line) const;
+
+    /**
+     * Allocation-free variant of extract: writes the data bytes into
+     * the caller's buffer (exactly lineBytes long).
+     */
+    void extractInto(const LotLine &line,
+                     std::span<std::uint8_t> out) const;
+
+    /**
+     * Re-encode a line into an existing LotLine, reusing its buffers
+     * (allocation-free once the buffers have reached capacity).
+     */
+    void encodeInto(std::span<const std::uint8_t> line,
+                    LotLine &out) const;
+
+    /** Largest per-device slice the codec supports (stack buffers in
+     *  the allocation-free decode are sized by this). */
+    static constexpr int kMaxSliceBytes = 64;
 
   private:
     int dataDevices_;

@@ -1,17 +1,40 @@
 /**
  * @file
- * Reed-Solomon encode and errors-and-erasures decode.
+ * Reed-Solomon encode and errors-and-erasures decode: the table-driven
+ * allocation-free fast path.
  *
  * Conventions: the codeword array c[0..n) maps to the polynomial
  * c(x) = sum_i c[i] * x^(n-1-i), i.e. c[0] carries the highest power.
  * The generator is g(x) = prod_{j=0}^{r-1} (x - alpha^j) (fcr = 0), so
  * the syndromes are S_j = c(alpha^j).  The locator of an error at array
  * index i is X_i = alpha^(n-1-i).
+ *
+ * The pipeline is algorithmically the same errors-and-erasures decoder
+ * as ecc/rs_reference.cc (which is the retained original), restructured
+ * for speed:
+ *
+ *  - every GF multiply is a product-table load; scale-accumulate loops
+ *    hoist one 256-byte MulRow per fixed multiplicand;
+ *  - all scratch lives in the caller's RsWorkspace -- no heap traffic
+ *    anywhere on the encode / syndrome / decode paths;
+ *  - syndrome Horner chains are interleaved across j, so the r
+ *    dependent-load chains pipeline instead of serialising;
+ *  - the Chien search steps the evaluation point incrementally (one
+ *    multiply per psi coefficient per position, with per-instance
+ *    alpha^j step tables) and exits as soon as deg(Psi) roots are
+ *    found;
+ *  - the final safety check verifies sum_i mag_i * X_i^j == S_j
+ *    (O(errors * r)) instead of re-evaluating the whole corrected
+ *    word (O(n * r)); the two are the same field identity.
+ *
+ * Decode results are bit-identical to the reference implementation;
+ * tests/test_property_rs_oracle.cc fuzzes the equivalence.
  */
 
 #include "ecc/reed_solomon.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -21,40 +44,70 @@ namespace arcc
 namespace gfpoly
 {
 
+std::size_t
+mulInto(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+        std::span<std::uint8_t> out)
+{
+    if (a.empty() || b.empty())
+        return 0;
+    const std::size_t len = a.size() + b.size() - 1;
+    ARCC_ASSERT(out.size() >= len);
+    std::memset(out.data(), 0, len);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        const GF256::MulRow row = GF256::mulRow(a[i]);
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= row(b[j]);
+    }
+    return len;
+}
+
 std::vector<std::uint8_t>
 mul(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
 {
     if (a.empty() || b.empty())
         return {};
     std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i] == 0)
-            continue;
-        for (std::size_t j = 0; j < b.size(); ++j)
-            out[i + j] ^= GF256::mul(a[i], b[j]);
-    }
+    mulInto(a, b, out);
     return out;
 }
 
 std::uint8_t
 eval(std::span<const std::uint8_t> p, std::uint8_t x)
 {
-    // Horner from the highest coefficient.
+    // Horner from the highest coefficient, one table row for x.
+    const GF256::MulRow row = GF256::mulRow(x);
     std::uint8_t acc = 0;
     for (std::size_t i = p.size(); i-- > 0;)
-        acc = GF256::add(GF256::mul(acc, x), p[i]);
+        acc = row(acc) ^ p[i];
     return acc;
+}
+
+std::size_t
+derivativeInto(std::span<const std::uint8_t> p,
+               std::span<std::uint8_t> out)
+{
+    // d/dx sum a_i x^i = sum_{i odd} a_i x^(i-1) over GF(2^m).
+    if (p.size() <= 1) {
+        ARCC_ASSERT(!out.empty());
+        out[0] = 0;
+        return 1;
+    }
+    const std::size_t len = p.size() - 1;
+    ARCC_ASSERT(out.size() >= len);
+    std::memset(out.data(), 0, len);
+    for (std::size_t i = 1; i < p.size(); i += 2)
+        out[i - 1] = p[i];
+    return len;
 }
 
 std::vector<std::uint8_t>
 derivative(std::span<const std::uint8_t> p)
 {
-    // d/dx sum a_i x^i = sum_{i odd} a_i x^(i-1) over GF(2^m).
-    if (p.size() <= 1)
-        return {0};
-    std::vector<std::uint8_t> out(p.size() - 1, 0);
-    for (std::size_t i = 1; i < p.size(); i += 2)
-        out[i - 1] = p[i];
+    std::vector<std::uint8_t> out(std::max<std::size_t>(p.size(), 2) - 1,
+                                  0);
+    derivativeInto(p, out);
     return out;
 }
 
@@ -85,6 +138,41 @@ ReedSolomon::ReedSolomon(int n, int k)
         std::vector<std::uint8_t> factor = {root, 1};
         gen_ = gfpoly::mul(gen_, factor);
     }
+
+    const int rr = r();
+
+    // Encode walks g high-to-low (minus the monic lead): precompute
+    // that order so the inner loop is a straight scale-accumulate.
+    genHigh_.resize(rr);
+    for (int j = 0; j < rr; ++j)
+        genHigh_[j] = gen_[rr - 1 - j];
+
+    // One product-table row per syndrome root alpha^j.
+    syndRows_.resize(rr);
+    for (int j = 0; j < rr; ++j)
+        syndRows_[j] = GF256::mulTable() +
+                       static_cast<std::size_t>(GF256::alphaPow(j)) *
+                           GF256::kOrder;
+
+    // Locators X_i = alpha^(n-1-i) and their inverses, per position.
+    xAt_.resize(n_);
+    xInvAt_.resize(n_);
+    for (int i = 0; i < n_; ++i) {
+        xAt_[i] = GF256::alphaPow(n_ - 1 - i);
+        xInvAt_[i] = GF256::inv(xAt_[i]);
+    }
+
+    // Incremental Chien tables: scanning positions i = 0, 1, ... puts
+    // the evaluation point at alpha^-(n-1-i), i.e. it starts at
+    // alpha^-(n-1) and steps by alpha.  Term j therefore starts at
+    // psi_j * alpha^(-j(n-1)) and multiplies by alpha^j per position.
+    // deg(Psi) <= r < kOrder bounds the table size.
+    chienInit_.resize(GF256::kOrder);
+    chienStep_.resize(GF256::kOrder);
+    for (int j = 0; j < GF256::kOrder; ++j) {
+        chienInit_[j] = GF256::alphaPow(-(j * (n_ - 1)));
+        chienStep_[j] = GF256::alphaPow(j);
+    }
 }
 
 void
@@ -96,19 +184,22 @@ ReedSolomon::encode(std::span<std::uint8_t> codeword) const
     // the parity.  Work in the "high power first" view, which matches
     // the array order directly.
     const int rr = r();
-    std::vector<std::uint8_t> rem(rr, 0);
+    std::uint8_t rem[RsWorkspace::kMaxChecks];
+    std::memset(rem, 0, rr);
     for (int i = 0; i < k_; ++i) {
-        std::uint8_t coef = GF256::add(codeword[i], rem[0]);
-        // Shift the remainder left by one position.
+        const std::uint8_t coef = codeword[i] ^ rem[0];
+        // Shift the remainder left by one position (a plain loop: rr
+        // is single digits for every codec in use, so a memmove call
+        // would cost more than the shift).
         for (int j = 0; j < rr - 1; ++j)
             rem[j] = rem[j + 1];
         rem[rr - 1] = 0;
         if (coef != 0) {
-            // Subtract coef * g(x); g is monic so gen_[rr] == 1 and the
-            // leading term cancels with the shifted-out coefficient.
-            for (int j = 0; j < rr; ++j) {
-                rem[j] ^= GF256::mul(coef, gen_[rr - 1 - j]);
-            }
+            // Subtract coef * g(x); g is monic so the leading term
+            // cancels with the shifted-out coefficient.
+            const GF256::MulRow row = GF256::mulRow(coef);
+            for (int j = 0; j < rr; ++j)
+                rem[j] ^= row(genHigh_[j]);
         }
     }
     for (int j = 0; j < rr; ++j)
@@ -117,19 +208,48 @@ ReedSolomon::encode(std::span<std::uint8_t> codeword) const
 
 bool
 ReedSolomon::computeSyndromes(std::span<const std::uint8_t> codeword,
-                              std::vector<std::uint8_t> &synd) const
+                              std::span<std::uint8_t> synd) const
 {
-    const int rr = r();
-    synd.assign(rr, 0);
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    ARCC_ASSERT(synd.size() <= static_cast<std::size_t>(r()));
+    const int rr = static_cast<int>(synd.size());
+    if (rr == 0)
+        return false;
+
+    // S_j = c(alpha^j), Horner over the array (highest power first).
+    // Chains are run four at a time in register lanes over one pass
+    // of the codeword, so the per-chain L1-load latency overlaps
+    // instead of adding up (a lone chain is a serial load-to-load
+    // dependency).  Lanes past rr recompute the last row's chain and
+    // are discarded -- cheaper than branching in the inner loop.
     bool any = false;
-    for (int j = 0; j < rr; ++j) {
-        // S_j = c(alpha^j); Horner over the array (highest power first).
-        std::uint8_t x = GF256::alphaPow(j);
-        std::uint8_t acc = 0;
-        for (int i = 0; i < n_; ++i)
-            acc = GF256::add(GF256::mul(acc, x), codeword[i]);
-        synd[j] = acc;
-        any = any || acc != 0;
+    for (int j0 = 0; j0 < rr; j0 += 4) {
+        const std::uint8_t *r0 = syndRows_[j0];
+        const std::uint8_t *r1 = syndRows_[std::min(j0 + 1, rr - 1)];
+        const std::uint8_t *r2 = syndRows_[std::min(j0 + 2, rr - 1)];
+        const std::uint8_t *r3 = syndRows_[std::min(j0 + 3, rr - 1)];
+        std::uint8_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int i = 0; i < n_; ++i) {
+            const std::uint8_t c = codeword[i];
+            s0 = r0[s0] ^ c;
+            s1 = r1[s1] ^ c;
+            s2 = r2[s2] ^ c;
+            s3 = r3[s3] ^ c;
+        }
+        synd[j0] = s0;
+        any = any || s0 != 0;
+        if (j0 + 1 < rr) {
+            synd[j0 + 1] = s1;
+            any = any || s1 != 0;
+        }
+        if (j0 + 2 < rr) {
+            synd[j0 + 2] = s2;
+            any = any || s2 != 0;
+        }
+        if (j0 + 3 < rr) {
+            synd[j0 + 3] = s3;
+            any = any || s3 != 0;
+        }
     }
     return any;
 }
@@ -137,117 +257,114 @@ ReedSolomon::computeSyndromes(std::span<const std::uint8_t> codeword,
 bool
 ReedSolomon::syndromesZero(std::span<const std::uint8_t> codeword) const
 {
-    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
-    std::vector<std::uint8_t> synd;
-    return !computeSyndromes(codeword, synd);
+    std::uint8_t synd[RsWorkspace::kMaxChecks];
+    return !computeSyndromes(codeword, std::span<std::uint8_t>(synd, r()));
 }
 
 std::uint8_t
 ReedSolomon::evalAt(std::span<const std::uint8_t> codeword, int j) const
 {
-    std::uint8_t x = GF256::alphaPow(j);
+    const GF256::MulRow row = GF256::mulRow(GF256::alphaPow(j));
     std::uint8_t acc = 0;
     for (int i = 0; i < n_; ++i)
-        acc = GF256::add(GF256::mul(acc, x), codeword[i]);
+        acc = row(acc) ^ codeword[i];
     return acc;
 }
 
-namespace
+RsWorkspace &
+ReedSolomon::tlsWorkspace()
 {
+    static thread_local RsWorkspace ws;
+    return ws;
+}
 
-/** One applied correction, for rollback on a failed safety check. */
-struct Applied
+RsDecodeView
+ReedSolomon::decodeCore(std::span<std::uint8_t> codeword,
+                        std::span<const std::uint8_t> synd,
+                        RsWorkspace &ws, int maxCorrect,
+                        std::span<const int> erasures) const
 {
-    int pos;
-    std::uint8_t mag;
-};
-
-} // anonymous namespace
-
-DecodeResult
-ReedSolomon::decodeWithSyndromes(std::span<std::uint8_t> codeword,
-                                 std::span<const std::uint8_t> synd,
-                                 int maxCorrect,
-                                 std::span<const int> erasures) const
-{
-    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
     const int rr = static_cast<int>(synd.size());
+    ARCC_ASSERT(rr <= RsWorkspace::kMaxChecks);
 
-    DecodeResult res;
-    bool any = false;
-    for (std::uint8_t s : synd)
-        any = any || s != 0;
-    if (!any) {
-        res.status = DecodeStatus::Clean;
-        return res;
-    }
-
+    RsDecodeView res;
     const int f = static_cast<int>(erasures.size());
     if (f > rr) {
         res.status = DecodeStatus::Detected;
         return res;
     }
 
-    // The evaluations the corrected word must reproduce (for the
-    // in-line syndromes these are zero; for virtualised tier-2 checks
-    // they are the stored evaluations themselves).
-    std::vector<std::uint8_t> expect(rr);
-    for (int j = 0; j < rr; ++j)
-        expect[j] = GF256::add(evalAt(codeword, j), synd[j]);
-
-    // Erasure locator Gamma(x) = prod (1 - X_i x).
-    std::vector<std::uint8_t> gamma = {1};
+    // Erasure locator Gamma(x) = prod (1 - X_i x), built in place.
+    std::uint8_t *gamma = ws.gamma.data();
+    int gamma_len = 1;
+    gamma[0] = 1;
     for (int pos : erasures) {
         ARCC_ASSERT(pos >= 0 && pos < n_);
-        std::uint8_t x_i = GF256::alphaPow(n_ - 1 - pos);
-        std::vector<std::uint8_t> factor = {1, x_i};
-        gamma = gfpoly::mul(gamma, factor);
+        const GF256::MulRow row = GF256::mulRow(xAt_[pos]);
+        gamma[gamma_len] = 0;
+        for (int j = gamma_len; j >= 1; --j)
+            gamma[j] ^= row(gamma[j - 1]);
+        ++gamma_len;
     }
 
     // Modified syndromes Xi(x) = S(x) * Gamma(x) mod x^rr.
-    std::vector<std::uint8_t> sv(synd.begin(), synd.end());
-    std::vector<std::uint8_t> xi = gfpoly::mul(sv, gamma);
-    xi.resize(rr, 0);
+    const std::size_t xi_len = gfpoly::mulInto(
+        synd, std::span<const std::uint8_t>(gamma, gamma_len), ws.xi);
+    for (std::size_t j = xi_len; j < static_cast<std::size_t>(rr); ++j)
+        ws.xi[j] = 0;
+    const std::uint8_t *xi = ws.xi.data();
 
-    // Berlekamp-Massey for up to floor((rr - f) / 2) errors.
+    // Berlekamp-Massey for up to floor((rr - f) / 2) errors.  The
+    // state polynomials keep explicit storage lengths that replicate
+    // the reference's vector sizes exactly (they matter in the
+    // discrepancy guard below).
     const int e_cap = (rr - f) / 2;
-    std::vector<std::uint8_t> lambda = {1};
-    std::vector<std::uint8_t> prev = {1};
+    std::uint8_t *lambda = ws.lambda.data();
+    std::uint8_t *prev = ws.prev.data();
+    int lambda_len = 1;
+    int prev_len = 1;
+    lambda[0] = 1;
+    prev[0] = 1;
     int big_l = 0;
     int m = 1;
     std::uint8_t b = 1;
     for (int it = 0; it < rr - f; ++it) {
         std::uint8_t delta = xi[f + it];
         for (int i = 1; i <= big_l; ++i) {
-            if (i < static_cast<int>(lambda.size()) && f + it - i >= 0)
+            if (i < lambda_len && f + it - i >= 0)
                 delta ^= GF256::mul(lambda[i], xi[f + it - i]);
         }
         if (delta == 0) {
             ++m;
             continue;
         }
+        const GF256::MulRow row = GF256::mulRow(GF256::div(delta, b));
+        if (lambda_len < prev_len + m) {
+            ARCC_ASSERT(prev_len + m <= RsWorkspace::kPolyCap);
+            std::memset(lambda + lambda_len, 0,
+                        prev_len + m - lambda_len);
+        }
         if (2 * big_l <= it) {
-            std::vector<std::uint8_t> t = lambda;
-            std::uint8_t scale = GF256::div(delta, b);
-            if (lambda.size() < prev.size() + m)
-                lambda.resize(prev.size() + m, 0);
-            for (std::size_t i = 0; i < prev.size(); ++i)
-                lambda[i + m] ^= GF256::mul(scale, prev[i]);
+            std::memcpy(ws.tmp.data(), lambda, lambda_len);
+            const int tmp_len = lambda_len;
+            lambda_len = std::max(lambda_len, prev_len + m);
+            for (int i = 0; i < prev_len; ++i)
+                lambda[i + m] ^= row(prev[i]);
             big_l = it + 1 - big_l;
-            prev = t;
+            std::memcpy(prev, ws.tmp.data(), tmp_len);
+            prev_len = tmp_len;
             b = delta;
             m = 1;
         } else {
-            std::uint8_t scale = GF256::div(delta, b);
-            if (lambda.size() < prev.size() + m)
-                lambda.resize(prev.size() + m, 0);
-            for (std::size_t i = 0; i < prev.size(); ++i)
-                lambda[i + m] ^= GF256::mul(scale, prev[i]);
+            lambda_len = std::max(lambda_len, prev_len + m);
+            for (int i = 0; i < prev_len; ++i)
+                lambda[i + m] ^= row(prev[i]);
             ++m;
         }
     }
 
-    const int num_errors = gfpoly::degree(lambda);
+    const int num_errors = gfpoly::degree(
+        std::span<const std::uint8_t>(lambda, lambda_len));
     const int allowed =
         maxCorrect < 0 ? e_cap : std::min(maxCorrect, e_cap);
     if (num_errors < 0 || num_errors > allowed || big_l != num_errors) {
@@ -255,79 +372,169 @@ ReedSolomon::decodeWithSyndromes(std::span<std::uint8_t> codeword,
         return res;
     }
 
-    // Combined locator Psi = Lambda * Gamma.
-    std::vector<std::uint8_t> psi = gfpoly::mul(lambda, gamma);
-    const int psi_deg = gfpoly::degree(psi);
+    // Combined locator Psi = Lambda * Gamma; Lambda trimmed to its
+    // degree (trailing storage zeros contribute nothing).
+    const std::size_t psi_len = gfpoly::mulInto(
+        std::span<const std::uint8_t>(lambda, num_errors + 1),
+        std::span<const std::uint8_t>(gamma, gamma_len), ws.psi);
+    const std::uint8_t *psi = ws.psi.data();
+    const int psi_deg =
+        gfpoly::degree(std::span<const std::uint8_t>(psi, psi_len));
 
-    // Chien search over all positions.
-    std::vector<int> err_pos;
+    // Incremental Chien search, ascending array positions: term j
+    // carries psi_j * x^j at the current evaluation point and steps
+    // by alpha^j per position.  A polynomial with psi[0] == 1 has at
+    // most psi_deg roots, so stop as soon as they are all found.
+    int found = 0;
+    for (std::size_t j = 0; j < psi_len; ++j)
+        ws.terms[j] = GF256::mul(psi[j], chienInit_[j]);
     for (int i = 0; i < n_; ++i) {
-        std::uint8_t x_inv = GF256::alphaPow(-(n_ - 1 - i));
-        if (gfpoly::eval(psi, x_inv) == 0)
-            err_pos.push_back(i);
+        std::uint8_t v = 0;
+        for (std::size_t j = 0; j < psi_len; ++j)
+            v ^= ws.terms[j];
+        if (v == 0)
+            ws.errPos[found++] = i;
+        if (found == psi_deg || i + 1 == n_)
+            break;
+        for (std::size_t j = 1; j < psi_len; ++j)
+            ws.terms[j] = GF256::mul(ws.terms[j], chienStep_[j]);
     }
-    if (static_cast<int>(err_pos.size()) != psi_deg) {
+    if (found != psi_deg) {
         res.status = DecodeStatus::Detected;
         return res;
     }
 
-    // Forney: Omega = S * Psi mod x^rr.
-    std::vector<std::uint8_t> omega = gfpoly::mul(sv, psi);
-    omega.resize(rr, 0);
-    std::vector<std::uint8_t> psi_prime = gfpoly::derivative(psi);
+    // Forney: Omega = S * Psi mod x^rr, magnitudes from Omega / Psi'.
+    const std::size_t omega_len = gfpoly::mulInto(
+        synd, std::span<const std::uint8_t>(psi, psi_len), ws.omega);
+    for (std::size_t j = omega_len; j < static_cast<std::size_t>(rr);
+         ++j)
+        ws.omega[j] = 0;
+    const std::span<const std::uint8_t> omega(ws.omega.data(),
+                                              static_cast<std::size_t>(rr));
+    const std::size_t pp_len = gfpoly::derivativeInto(
+        std::span<const std::uint8_t>(psi, psi_len), ws.psiPrime);
+    const std::span<const std::uint8_t> psi_prime(ws.psiPrime.data(),
+                                                  pp_len);
 
-    std::vector<Applied> applied;
-    for (int i : err_pos) {
-        std::uint8_t x_i = GF256::alphaPow(n_ - 1 - i);
-        std::uint8_t x_inv = GF256::inv(x_i);
-        std::uint8_t denom = gfpoly::eval(psi_prime, x_inv);
+    auto rollback = [&](int applied) {
+        for (int a = 0; a < applied; ++a)
+            codeword[ws.positions[a]] ^= ws.mags[a];
+    };
+
+    int applied = 0;
+    for (int idx = 0; idx < found; ++idx) {
+        const int i = ws.errPos[idx];
+        const std::uint8_t x_i = xAt_[i];
+        const std::uint8_t x_inv = xInvAt_[i];
+        const std::uint8_t denom = gfpoly::eval(psi_prime, x_inv);
         if (denom == 0) {
-            for (auto [pos, mag] : applied)
-                codeword[pos] ^= mag;
+            rollback(applied);
             res.status = DecodeStatus::Detected;
             return res;
         }
-        std::uint8_t num = gfpoly::eval(omega, x_inv);
-        std::uint8_t magnitude =
+        const std::uint8_t num = gfpoly::eval(omega, x_inv);
+        const std::uint8_t magnitude =
             GF256::mul(x_i, GF256::div(num, denom));
         if (magnitude != 0) {
             codeword[i] ^= magnitude;
-            applied.push_back({i, magnitude});
-            res.positions.push_back(i);
+            ws.positions[applied] = i;
+            ws.mags[applied] = magnitude;
+            ++applied;
         }
     }
 
     // Safety: the corrected word must reproduce every expected
-    // evaluation.  If not, the pattern exceeded the capability;
-    // restore the original word so the caller gets a clean DUE.
+    // evaluation.  Since evalAt(corrected, j) differs from
+    // evalAt(original, j) by exactly sum_i mag_i * X_i^j, that is the
+    // identity  sum_i mag_i * X_i^j == S_j  for every supplied
+    // syndrome -- checked incrementally in O(applied * rr) rather
+    // than re-evaluating the whole word.  On failure the pattern
+    // exceeded the capability; restore the original word so the
+    // caller gets a clean DUE.
+    for (int a = 0; a < applied; ++a)
+        ws.terms[a] = ws.mags[a];
     for (int j = 0; j < rr; ++j) {
-        if (evalAt(codeword, j) != expect[j]) {
-            for (auto [pos, mag] : applied)
-                codeword[pos] ^= mag;
+        std::uint8_t sum = 0;
+        for (int a = 0; a < applied; ++a)
+            sum ^= ws.terms[a];
+        if (sum != synd[j]) {
+            rollback(applied);
             res.status = DecodeStatus::Detected;
-            res.positions.clear();
-            res.symbolsCorrected = 0;
             return res;
+        }
+        if (j + 1 < rr) {
+            for (int a = 0; a < applied; ++a)
+                ws.terms[a] =
+                    GF256::mul(ws.terms[a], xAt_[ws.positions[a]]);
         }
     }
 
     res.status = DecodeStatus::Corrected;
-    res.symbolsCorrected = static_cast<int>(res.positions.size());
+    res.symbolsCorrected = applied;
+    res.positions = std::span<const int>(ws.positions.data(),
+                                         static_cast<std::size_t>(applied));
     return res;
 }
+
+RsDecodeView
+ReedSolomon::decodeWithSyndromes(std::span<std::uint8_t> codeword,
+                                 std::span<const std::uint8_t> synd,
+                                 RsWorkspace &ws, int maxCorrect,
+                                 std::span<const int> erasures) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    bool any = false;
+    for (std::uint8_t s : synd)
+        any = any || s != 0;
+    if (!any)
+        return {};
+    return decodeCore(codeword, synd, ws, maxCorrect, erasures);
+}
+
+RsDecodeView
+ReedSolomon::decode(std::span<std::uint8_t> codeword, RsWorkspace &ws,
+                    int maxCorrect, std::span<const int> erasures) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    const std::span<std::uint8_t> synd(ws.synd.data(),
+                                       static_cast<std::size_t>(r()));
+    if (!computeSyndromes(codeword, synd))
+        return {};
+    return decodeCore(codeword, synd, ws, maxCorrect, erasures);
+}
+
+namespace
+{
+
+/** Copy a fast-path view into the owning legacy result. */
+DecodeResult
+own(const RsDecodeView &v)
+{
+    DecodeResult res;
+    res.status = v.status;
+    res.symbolsCorrected = v.symbolsCorrected;
+    res.positions.assign(v.positions.begin(), v.positions.end());
+    return res;
+}
+
+} // anonymous namespace
 
 DecodeResult
 ReedSolomon::decode(std::span<std::uint8_t> codeword, int maxCorrect,
                     std::span<const int> erasures) const
 {
-    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
-    std::vector<std::uint8_t> synd;
-    if (!computeSyndromes(codeword, synd)) {
-        DecodeResult res;
-        res.status = DecodeStatus::Clean;
-        return res;
-    }
-    return decodeWithSyndromes(codeword, synd, maxCorrect, erasures);
+    return own(decode(codeword, tlsWorkspace(), maxCorrect, erasures));
+}
+
+DecodeResult
+ReedSolomon::decodeWithSyndromes(std::span<std::uint8_t> codeword,
+                                 std::span<const std::uint8_t> synd,
+                                 int maxCorrect,
+                                 std::span<const int> erasures) const
+{
+    return own(decodeWithSyndromes(codeword, synd, tlsWorkspace(),
+                                   maxCorrect, erasures));
 }
 
 } // namespace arcc

@@ -19,6 +19,14 @@
  * The decoder also accepts *erasures* (positions known bad, e.g. a
  * device already diagnosed and remapped by chip sparing); e errors and
  * f erasures are corrected whenever 2e + f <= n - k.
+ *
+ * This is the *fast* implementation: table-driven GF(2^8) arithmetic
+ * (see gf256.hh), zero heap allocations on every encode / syndrome /
+ * decode path when driven through an RsWorkspace, per-instance
+ * precomputed locator tables, and an incremental alpha-stepping Chien
+ * search.  Its decode results are bit-identical to the retained
+ * reference implementation (ecc/rs_reference.hh); the property suite
+ * fuzzes the two against each other.
  */
 
 #ifndef ARCC_ECC_REED_SOLOMON_HH
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "ecc/gf256.hh"
+#include "ecc/rs_workspace.hh"
 
 namespace arcc
 {
@@ -47,7 +56,7 @@ enum class DecodeStatus
     Detected,
 };
 
-/** Full result of a decode attempt. */
+/** Full result of a decode attempt (owning; legacy convenience). */
 struct DecodeResult
 {
     DecodeStatus status = DecodeStatus::Clean;
@@ -55,6 +64,22 @@ struct DecodeResult
     int symbolsCorrected = 0;
     /** Codeword positions the decoder changed. */
     std::vector<int> positions;
+
+    bool ok() const { return status != DecodeStatus::Detected; }
+};
+
+/**
+ * Non-owning decode result of the allocation-free fast path.
+ * `positions` aliases the workspace the decode ran in, so it is valid
+ * until that workspace's next decode.  Copy it out if you need it
+ * longer.
+ */
+struct RsDecodeView
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    int symbolsCorrected = 0;
+    /** Codeword positions changed, ascending; view into workspace. */
+    std::span<const int> positions{};
 
     bool ok() const { return status != DecodeStatus::Detected; }
 };
@@ -80,25 +105,48 @@ class ReedSolomon
 
     /**
      * Encode in place: reads codeword[0..k), writes codeword[k..n).
+     * Allocation-free.
      * @param codeword buffer of at least n symbols.
      */
     void encode(std::span<std::uint8_t> codeword) const;
 
     /**
-     * Syndrome check without correction.
+     * Syndrome check without correction.  Allocation-free; this is
+     * the per-clean-line fast path of every sweep.
      * @return true when all syndromes are zero.
      */
     bool syndromesZero(std::span<const std::uint8_t> codeword) const;
 
     /**
-     * Decode in place.
+     * Compute the first `synd.size()` syndromes S_j = c(alpha^j) into
+     * the caller's buffer.  Allocation-free.
+     * @pre synd.size() <= r().  Evaluations at the extension roots
+     *      j >= r (VECC's virtualised check symbols) are not
+     *      syndromes of this code; compute those with evalAt().
+     * @return true if any syndrome is non-zero.
+     */
+    bool computeSyndromes(std::span<const std::uint8_t> codeword,
+                          std::span<std::uint8_t> synd) const;
+
+    /**
+     * Decode in place through a workspace: the allocation-free fast
+     * path.  The returned view's `positions` aliases `ws`.
      *
      * @param codeword   buffer of n symbols, corrected on success.
+     * @param ws         scratch arena (one per worker, reused).
      * @param maxCorrect cap on the number of *errors* (not erasures)
      *                   the decoder may correct; -1 means the full
      *                   capability floor((r - f) / 2).  SCCDCD uses 1.
      * @param erasures   positions known to be unreliable.
-     * @return the decode outcome.
+     */
+    RsDecodeView decode(std::span<std::uint8_t> codeword,
+                        RsWorkspace &ws, int maxCorrect = -1,
+                        std::span<const int> erasures = {}) const;
+
+    /**
+     * Decode in place (owning-result convenience; uses the calling
+     * thread's default workspace).  The clean path allocates nothing;
+     * a correction allocates only the returned position list.
      */
     DecodeResult decode(std::span<std::uint8_t> codeword,
                         int maxCorrect = -1,
@@ -119,22 +167,57 @@ class ReedSolomon
      * may be *longer* than r: VECC's tier-2 check symbols extend the
      * effective redundancy of the inline codeword (Chapter 5.2), so an
      * RS(18,16) word plus two virtualised evaluations decodes with
-     * four syndromes.
+     * four syndromes.  Allocation-free fast path; the view's
+     * `positions` aliases `ws`.
      */
+    RsDecodeView decodeWithSyndromes(
+        std::span<std::uint8_t> codeword,
+        std::span<const std::uint8_t> synd, RsWorkspace &ws,
+        int maxCorrect = -1, std::span<const int> erasures = {}) const;
+
+    /** Owning-result convenience overload (thread-default workspace). */
     DecodeResult decodeWithSyndromes(
         std::span<std::uint8_t> codeword,
         std::span<const std::uint8_t> synd, int maxCorrect = -1,
         std::span<const int> erasures = {}) const;
 
+    /**
+     * The calling thread's default workspace.  Thread-local, so
+     * "one per SimEngine worker" holds with no plumbing; the explicit
+     * workspace overloads exist so sharded sweeps can own theirs.
+     */
+    static RsWorkspace &tlsWorkspace();
+
   private:
-    /** Compute the r syndromes; @return true if any is non-zero. */
-    bool computeSyndromes(std::span<const std::uint8_t> codeword,
-                          std::vector<std::uint8_t> &synd) const;
+    /**
+     * The decode pipeline behind both syndrome entry points.  `synd`
+     * must already be known non-zero somewhere.
+     */
+    RsDecodeView decodeCore(std::span<std::uint8_t> codeword,
+                            std::span<const std::uint8_t> synd,
+                            RsWorkspace &ws, int maxCorrect,
+                            std::span<const int> erasures) const;
 
     int n_;
     int k_;
     /** Generator polynomial, low-order coefficient first. */
     std::vector<std::uint8_t> gen_;
+    /** gen_ reversed (high-order first, monic lead dropped): the
+     *  order encode's scale-accumulate walks it in. */
+    std::vector<std::uint8_t> genHigh_;
+    /** Syndrome Horner multiplier rows: row j scales by alpha^j. */
+    std::vector<const std::uint8_t *> syndRows_;
+    /** Locator tables: xAt_[i] = alpha^(n-1-i), xInvAt_[i] its
+     *  inverse -- the locator of an error at array index i and the
+     *  Chien root that reveals it. */
+    std::vector<std::uint8_t> xAt_;
+    std::vector<std::uint8_t> xInvAt_;
+    /** Incremental Chien tables: scanning array positions in
+     *  ascending order steps the evaluation point by alpha, so term j
+     *  starts at psi_j * chienInit_[j] and multiplies by
+     *  chienStep_[j] = alpha^j each position. */
+    std::vector<std::uint8_t> chienInit_;
+    std::vector<std::uint8_t> chienStep_;
 };
 
 /** Polynomial helpers shared with tests (coefficients low-to-high). */
@@ -145,11 +228,29 @@ namespace gfpoly
 std::vector<std::uint8_t> mul(std::span<const std::uint8_t> a,
                               std::span<const std::uint8_t> b);
 
+/**
+ * In-place span variant of mul: writes a * b into `out` (which must
+ * not alias the inputs and must hold a.size() + b.size() - 1
+ * coefficients) and returns that length.  Zero-length inputs produce
+ * a zero-length product.
+ */
+std::size_t mulInto(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b,
+                    std::span<std::uint8_t> out);
+
 /** Evaluate a polynomial at x. */
 std::uint8_t eval(std::span<const std::uint8_t> p, std::uint8_t x);
 
 /** Formal derivative (over GF(2^m) even-power terms vanish). */
 std::vector<std::uint8_t> derivative(std::span<const std::uint8_t> p);
+
+/**
+ * In-place span variant of derivative: writes p' into `out` (needs
+ * max(p.size() - 1, 1) coefficients; may not alias p) and returns
+ * that length.
+ */
+std::size_t derivativeInto(std::span<const std::uint8_t> p,
+                           std::span<std::uint8_t> out);
 
 /** Degree of p (-1 for the zero polynomial). */
 int degree(std::span<const std::uint8_t> p);

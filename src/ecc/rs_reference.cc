@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Reference Reed-Solomon encode and errors-and-erasures decode.
+ *
+ * This is the library's original decoder, kept as the correctness
+ * oracle (see the header).  Conventions: the codeword array c[0..n)
+ * maps to the polynomial c(x) = sum_i c[i] * x^(n-1-i), i.e. c[0]
+ * carries the highest power.  The generator is
+ * g(x) = prod_{j=0}^{r-1} (x - alpha^j) (fcr = 0), so the syndromes
+ * are S_j = c(alpha^j).  The locator of an error at array index i is
+ * X_i = alpha^(n-1-i).
+ */
+
+#include "ecc/rs_reference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+RsReference::RsReference(int n, int k)
+    : n_(n), k_(k)
+{
+    if (n < 2 || n > 255)
+        fatal("RsReference: n = %d out of range [2, 255]", n);
+    if (k < 1 || k >= n)
+        fatal("RsReference: k = %d out of range [1, n)", k);
+
+    // g(x) = prod_{j=0}^{r-1} (x - alpha^j), built low-to-high.
+    gen_ = {1};
+    for (int j = 0; j < r(); ++j) {
+        std::uint8_t root = GF256::alphaPow(j);
+        // Multiply gen_ by (x + root): over GF(2^m), -root == root.
+        std::vector<std::uint8_t> factor = {root, 1};
+        gen_ = gfpoly::mul(gen_, factor);
+    }
+}
+
+void
+RsReference::encode(std::span<std::uint8_t> codeword) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+
+    // Polynomial long division of d(x) * x^r by g(x); the remainder is
+    // the parity.  Work in the "high power first" view, which matches
+    // the array order directly.
+    const int rr = r();
+    std::vector<std::uint8_t> rem(rr, 0);
+    for (int i = 0; i < k_; ++i) {
+        std::uint8_t coef = GF256::add(codeword[i], rem[0]);
+        // Shift the remainder left by one position.
+        for (int j = 0; j < rr - 1; ++j)
+            rem[j] = rem[j + 1];
+        rem[rr - 1] = 0;
+        if (coef != 0) {
+            // Subtract coef * g(x); g is monic so gen_[rr] == 1 and the
+            // leading term cancels with the shifted-out coefficient.
+            for (int j = 0; j < rr; ++j) {
+                rem[j] ^= GF256::mul(coef, gen_[rr - 1 - j]);
+            }
+        }
+    }
+    for (int j = 0; j < rr; ++j)
+        codeword[k_ + j] = rem[j];
+}
+
+bool
+RsReference::computeSyndromes(std::span<const std::uint8_t> codeword,
+                              std::vector<std::uint8_t> &synd) const
+{
+    const int rr = r();
+    synd.assign(rr, 0);
+    bool any = false;
+    for (int j = 0; j < rr; ++j) {
+        // S_j = c(alpha^j); Horner over the array (highest power first).
+        std::uint8_t x = GF256::alphaPow(j);
+        std::uint8_t acc = 0;
+        for (int i = 0; i < n_; ++i)
+            acc = GF256::add(GF256::mul(acc, x), codeword[i]);
+        synd[j] = acc;
+        any = any || acc != 0;
+    }
+    return any;
+}
+
+bool
+RsReference::syndromesZero(std::span<const std::uint8_t> codeword) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    std::vector<std::uint8_t> synd;
+    return !computeSyndromes(codeword, synd);
+}
+
+std::uint8_t
+RsReference::evalAt(std::span<const std::uint8_t> codeword, int j) const
+{
+    std::uint8_t x = GF256::alphaPow(j);
+    std::uint8_t acc = 0;
+    for (int i = 0; i < n_; ++i)
+        acc = GF256::add(GF256::mul(acc, x), codeword[i]);
+    return acc;
+}
+
+namespace
+{
+
+/** One applied correction, for rollback on a failed safety check. */
+struct Applied
+{
+    int pos;
+    std::uint8_t mag;
+};
+
+} // anonymous namespace
+
+DecodeResult
+RsReference::decodeWithSyndromes(std::span<std::uint8_t> codeword,
+                                 std::span<const std::uint8_t> synd,
+                                 int maxCorrect,
+                                 std::span<const int> erasures) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    const int rr = static_cast<int>(synd.size());
+
+    DecodeResult res;
+    bool any = false;
+    for (std::uint8_t s : synd)
+        any = any || s != 0;
+    if (!any) {
+        res.status = DecodeStatus::Clean;
+        return res;
+    }
+
+    const int f = static_cast<int>(erasures.size());
+    if (f > rr) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // The evaluations the corrected word must reproduce (for the
+    // in-line syndromes these are zero; for virtualised tier-2 checks
+    // they are the stored evaluations themselves).
+    std::vector<std::uint8_t> expect(rr);
+    for (int j = 0; j < rr; ++j)
+        expect[j] = GF256::add(evalAt(codeword, j), synd[j]);
+
+    // Erasure locator Gamma(x) = prod (1 - X_i x).
+    std::vector<std::uint8_t> gamma = {1};
+    for (int pos : erasures) {
+        ARCC_ASSERT(pos >= 0 && pos < n_);
+        std::uint8_t x_i = GF256::alphaPow(n_ - 1 - pos);
+        std::vector<std::uint8_t> factor = {1, x_i};
+        gamma = gfpoly::mul(gamma, factor);
+    }
+
+    // Modified syndromes Xi(x) = S(x) * Gamma(x) mod x^rr.
+    std::vector<std::uint8_t> sv(synd.begin(), synd.end());
+    std::vector<std::uint8_t> xi = gfpoly::mul(sv, gamma);
+    xi.resize(rr, 0);
+
+    // Berlekamp-Massey for up to floor((rr - f) / 2) errors.
+    const int e_cap = (rr - f) / 2;
+    std::vector<std::uint8_t> lambda = {1};
+    std::vector<std::uint8_t> prev = {1};
+    int big_l = 0;
+    int m = 1;
+    std::uint8_t b = 1;
+    for (int it = 0; it < rr - f; ++it) {
+        std::uint8_t delta = xi[f + it];
+        for (int i = 1; i <= big_l; ++i) {
+            if (i < static_cast<int>(lambda.size()) && f + it - i >= 0)
+                delta ^= GF256::mul(lambda[i], xi[f + it - i]);
+        }
+        if (delta == 0) {
+            ++m;
+            continue;
+        }
+        if (2 * big_l <= it) {
+            std::vector<std::uint8_t> t = lambda;
+            std::uint8_t scale = GF256::div(delta, b);
+            if (lambda.size() < prev.size() + m)
+                lambda.resize(prev.size() + m, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                lambda[i + m] ^= GF256::mul(scale, prev[i]);
+            big_l = it + 1 - big_l;
+            prev = t;
+            b = delta;
+            m = 1;
+        } else {
+            std::uint8_t scale = GF256::div(delta, b);
+            if (lambda.size() < prev.size() + m)
+                lambda.resize(prev.size() + m, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                lambda[i + m] ^= GF256::mul(scale, prev[i]);
+            ++m;
+        }
+    }
+
+    const int num_errors = gfpoly::degree(lambda);
+    const int allowed =
+        maxCorrect < 0 ? e_cap : std::min(maxCorrect, e_cap);
+    if (num_errors < 0 || num_errors > allowed || big_l != num_errors) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // Combined locator Psi = Lambda * Gamma.
+    std::vector<std::uint8_t> psi = gfpoly::mul(lambda, gamma);
+    const int psi_deg = gfpoly::degree(psi);
+
+    // Chien search over all positions.
+    std::vector<int> err_pos;
+    for (int i = 0; i < n_; ++i) {
+        std::uint8_t x_inv = GF256::alphaPow(-(n_ - 1 - i));
+        if (gfpoly::eval(psi, x_inv) == 0)
+            err_pos.push_back(i);
+    }
+    if (static_cast<int>(err_pos.size()) != psi_deg) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // Forney: Omega = S * Psi mod x^rr.
+    std::vector<std::uint8_t> omega = gfpoly::mul(sv, psi);
+    omega.resize(rr, 0);
+    std::vector<std::uint8_t> psi_prime = gfpoly::derivative(psi);
+
+    std::vector<Applied> applied;
+    for (int i : err_pos) {
+        std::uint8_t x_i = GF256::alphaPow(n_ - 1 - i);
+        std::uint8_t x_inv = GF256::inv(x_i);
+        std::uint8_t denom = gfpoly::eval(psi_prime, x_inv);
+        if (denom == 0) {
+            for (auto [pos, mag] : applied)
+                codeword[pos] ^= mag;
+            res.status = DecodeStatus::Detected;
+            return res;
+        }
+        std::uint8_t num = gfpoly::eval(omega, x_inv);
+        std::uint8_t magnitude =
+            GF256::mul(x_i, GF256::div(num, denom));
+        if (magnitude != 0) {
+            codeword[i] ^= magnitude;
+            applied.push_back({i, magnitude});
+            res.positions.push_back(i);
+        }
+    }
+
+    // Safety: the corrected word must reproduce every expected
+    // evaluation.  If not, the pattern exceeded the capability;
+    // restore the original word so the caller gets a clean DUE.
+    for (int j = 0; j < rr; ++j) {
+        if (evalAt(codeword, j) != expect[j]) {
+            for (auto [pos, mag] : applied)
+                codeword[pos] ^= mag;
+            res.status = DecodeStatus::Detected;
+            res.positions.clear();
+            res.symbolsCorrected = 0;
+            return res;
+        }
+    }
+
+    res.status = DecodeStatus::Corrected;
+    res.symbolsCorrected = static_cast<int>(res.positions.size());
+    return res;
+}
+
+DecodeResult
+RsReference::decode(std::span<std::uint8_t> codeword, int maxCorrect,
+                    std::span<const int> erasures) const
+{
+    ARCC_ASSERT(codeword.size() >= static_cast<std::size_t>(n_));
+    std::vector<std::uint8_t> synd;
+    if (!computeSyndromes(codeword, synd)) {
+        DecodeResult res;
+        res.status = DecodeStatus::Clean;
+        return res;
+    }
+    return decodeWithSyndromes(codeword, synd, maxCorrect, erasures);
+}
+
+} // namespace arcc

@@ -316,8 +316,10 @@ measureMiscorrectionRate(int n, int k, int maxCorrect, int numErrors,
                          int trials, std::uint64_t seed)
 {
     ReedSolomon rs(n, k);
+    RsWorkspace ws;
     Rng rng(seed);
     std::vector<std::uint8_t> word(n), original(n);
+    std::vector<int> pos;
     int miscorrected = 0;
     for (int t = 0; t < trials; ++t) {
         for (int i = 0; i < k; ++i)
@@ -326,7 +328,7 @@ measureMiscorrectionRate(int n, int k, int maxCorrect, int numErrors,
         original = word;
 
         // numErrors distinct positions, random non-zero magnitudes.
-        std::vector<int> pos;
+        pos.clear();
         while (static_cast<int>(pos.size()) < numErrors) {
             int p = static_cast<int>(rng.below(n));
             if (std::find(pos.begin(), pos.end(), p) == pos.end())
@@ -335,7 +337,7 @@ measureMiscorrectionRate(int n, int k, int maxCorrect, int numErrors,
         for (int p : pos)
             word[p] ^= static_cast<std::uint8_t>(rng.range(1, 255));
 
-        DecodeResult res = rs.decode(word, maxCorrect);
+        RsDecodeView res = rs.decode(word, ws, maxCorrect);
         bool silent_wrong =
             (res.status == DecodeStatus::Clean && word != original) ||
             (res.status == DecodeStatus::Corrected && word != original);

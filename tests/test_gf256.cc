@@ -125,6 +125,52 @@ TEST(GF256, AlphaPowHandlesNegativeExponents)
     }
 }
 
+TEST(GF256, MulTableMatchesLogExpFormula)
+{
+    // The 64 KiB product table is exhaustively the log/exp multiply
+    // it replaced (zero rows/columns included).
+    for (int a = 0; a < 256; ++a) {
+        for (int b = 0; b < 256; ++b) {
+            std::uint8_t expect = 0;
+            if (a != 0 && b != 0) {
+                int s = GF256::logTable()[a] + GF256::logTable()[b];
+                if (s >= GF256::kGroupOrder)
+                    s -= GF256::kGroupOrder;
+                expect = GF256::expTable()[s];
+            }
+            ASSERT_EQ(GF256::mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b)),
+                      expect)
+                << a << " * " << b;
+        }
+    }
+}
+
+TEST(GF256, MulRowIsTheFixedMultiplicandView)
+{
+    Rng rng(23);
+    for (int t = 0; t < 64; ++t) {
+        auto a = static_cast<std::uint8_t>(rng.below(256));
+        GF256::MulRow row = GF256::mulRow(a);
+        for (int x = 0; x < 256; ++x)
+            ASSERT_EQ(row(static_cast<std::uint8_t>(x)),
+                      GF256::mul(a, static_cast<std::uint8_t>(x)))
+                << static_cast<int>(a) << " * " << x;
+    }
+}
+
+#ifndef NDEBUG
+TEST(GF256DeathTest, ZeroOperandsAreCaughtInDebugBuilds)
+{
+    // log(0) / div-by-0 / inv(0) silently alias other elements if let
+    // through (log[0] is stored as 0); the debug asserts make the
+    // caller bug loud instead.
+    EXPECT_DEATH(GF256::log(0), "log of zero");
+    EXPECT_DEATH(GF256::div(5, 0), "div by zero");
+    EXPECT_DEATH(GF256::inv(0), "inv of zero");
+}
+#endif
+
 TEST(GF256, PowMatchesRepeatedMul)
 {
     Rng rng(19);

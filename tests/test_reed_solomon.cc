@@ -169,10 +169,15 @@ INSTANTIATE_TEST_SUITE_P(
         // A long code for good measure.
         RsCase{255, 223, 16, 0, true}, RsCase{255, 223, 10, 12, true}),
     [](const ::testing::TestParamInfo<RsCase> &info) {
-        return "n" + std::to_string(info.param.n) + "k" +
-               std::to_string(info.param.k) + "e" +
-               std::to_string(info.param.errors) + "f" +
-               std::to_string(info.param.erasures);
+        std::string name = "n";
+        name += std::to_string(info.param.n);
+        name += "k";
+        name += std::to_string(info.param.k);
+        name += "e";
+        name += std::to_string(info.param.errors);
+        name += "f";
+        name += std::to_string(info.param.erasures);
+        return name;
     });
 
 INSTANTIATE_TEST_SUITE_P(
@@ -182,10 +187,15 @@ INSTANTIATE_TEST_SUITE_P(
                       RsCase{36, 32, 2, 1, false},
                       RsCase{72, 64, 5, 0, false}),
     [](const ::testing::TestParamInfo<RsCase> &info) {
-        return "n" + std::to_string(info.param.n) + "k" +
-               std::to_string(info.param.k) + "e" +
-               std::to_string(info.param.errors) + "f" +
-               std::to_string(info.param.erasures);
+        std::string name = "n";
+        name += std::to_string(info.param.n);
+        name += "k";
+        name += std::to_string(info.param.k);
+        name += "e";
+        name += std::to_string(info.param.errors);
+        name += "f";
+        name += std::to_string(info.param.erasures);
+        return name;
     });
 
 // --- guaranteed-detection semantics -----------------------------------
