@@ -44,10 +44,21 @@ main()
                TextTable::num(ra.avgPowerMw, 0), TextTable::pct(red),
                TextTable::num(rb.ipcSum, 2),
                TextTable::num(ra.ipcSum, 2), TextTable::pct(imp)});
+        bench::jsonRow("fig7_1",
+                       {{"mix", "\"" + mix.name + "\""},
+                        {"base_mw", bench::jsonNum(rb.avgPowerMw)},
+                        {"arcc_mw", bench::jsonNum(ra.avgPowerMw)},
+                        {"base_ipc", bench::jsonNum(rb.ipcSum)},
+                        {"arcc_ipc", bench::jsonNum(ra.ipcSum)}});
     }
     t.row({"Average", "", "", TextTable::pct(power_red.mean()), "", "",
            TextTable::pct(perf_imp.mean())});
     t.print();
+    bench::jsonRow("fig7_1_avg",
+                   {{"power_reduction",
+                     bench::jsonNum(power_red.mean())},
+                    {"perf_improvement",
+                     bench::jsonNum(perf_imp.mean())}});
 
     std::printf("\nPaper: power -36.7%% avg (uniform across mixes), "
                 "performance +5.9%% avg (varies by mix).\n"

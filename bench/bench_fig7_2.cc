@@ -32,6 +32,8 @@ main()
     for (const WorkloadMix &mix : table73Mixes()) {
         SimResult clean = simulateMix(mix, cfg, {});
         std::vector<std::string> row = {mix.name};
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"mix", "\"" + mix.name + "\""}};
         for (std::size_t s = 0; s < scenarios.size(); ++s) {
             auto oracle =
                 PageUpgradeOracle::forScenario(scenarios[s], cfg.mem);
@@ -39,8 +41,12 @@ main()
             double norm = r.avgPowerMw / clean.avgPowerMw;
             per_scenario[s].add(norm);
             row.push_back(TextTable::num(norm, 3));
+            fields.emplace_back(
+                "norm_power_" + std::to_string(s),
+                bench::jsonNum(norm));
         }
         t.row(row);
+        bench::jsonRow("fig7_2", fields);
     }
     {
         std::vector<std::string> avg = {"Average"};

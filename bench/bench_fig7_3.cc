@@ -35,6 +35,8 @@ main()
     for (const WorkloadMix &mix : table73Mixes()) {
         SimResult clean = simulateMix(mix, cfg, {});
         std::vector<std::string> row = {mix.name};
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"mix", "\"" + mix.name + "\""}};
         for (std::size_t s = 0; s < scenarios.size(); ++s) {
             auto oracle =
                 PageUpgradeOracle::forScenario(scenarios[s], cfg.mem);
@@ -48,8 +50,11 @@ main()
                     ++degraded;
             }
             row.push_back(TextTable::num(norm, 3));
+            fields.emplace_back("norm_ipc_" + std::to_string(s),
+                                bench::jsonNum(norm));
         }
         t.row(row);
+        bench::jsonRow("fig7_3", fields);
     }
     {
         std::vector<std::string> avg = {"Average"};

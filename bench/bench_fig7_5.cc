@@ -54,6 +54,16 @@ main()
         meas.push_back(mc.cumulativeOverheadByYear(
             measured, std::max(0.5, ov.perf[0])));
         wc.push_back(mc.cumulativeOverheadByYear(worst, 0.5));
+
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"factor", bench::jsonNum(factor)}};
+        for (std::size_t y = 0; y < meas.back().size(); ++y)
+            fields.emplace_back("year" + std::to_string(y + 1),
+                                bench::jsonNum(meas.back()[y]));
+        for (std::size_t y = 0; y < wc.back().size(); ++y)
+            fields.emplace_back("worst_year" + std::to_string(y + 1),
+                                bench::jsonNum(wc.back()[y]));
+        bench::jsonRow("fig7_5", fields);
     }
     for (int y = 0; y < 7; ++y) {
         t.row({std::to_string(y + 1), TextTable::pct(meas[0][y], 3),

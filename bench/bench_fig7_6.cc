@@ -45,6 +45,13 @@ main()
         cfg.channels = 10000;
         LifetimeMc mc(cfg);
         by_factor.push_back(mc.cumulativeOverheadByYear(worst, 3.0));
+
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"factor", bench::jsonNum(factor)}};
+        for (std::size_t y = 0; y < by_factor.back().size(); ++y)
+            fields.emplace_back("year" + std::to_string(y + 1),
+                                bench::jsonNum(by_factor.back()[y]));
+        bench::jsonRow("fig7_6", fields);
     }
     for (int y = 0; y < 7; ++y) {
         t.row({std::to_string(y + 1),

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Background scrubbing interleaved with traffic (Section 4.2.2).
+ *
+ * The paper's scrubber periodically sweeps every line with write-0 /
+ * write-1 test patterns -- six DRAM accesses per line -- and
+ * Section 4.2.2 bounds its cost with a closed-form bandwidth model.
+ * Since PR 4 the system simulator can *measure* that cost instead:
+ * BackgroundScrubConfig injects the sweep into every channel's
+ * request stream, where it competes with demand traffic for banks
+ * and the data bus, and the reported IPC drop is simulated
+ * contention rather than an estimate.
+ *
+ * A real sweep period is hours while a simulated window is under a
+ * millisecond, so this walkthrough compresses the period to bring
+ * many sweep visits inside the window; the closed-form model is
+ * linear in 1/period, so the measured-vs-model comparison is scale-
+ * faithful.  The run also demonstrates the determinism contract:
+ * every number below is bit-identical at any ARCC_THREADS.
+ *
+ * Build & run:  ./build/background_scrub
+ */
+
+#include <cstdio>
+
+#include "arcc/scrubber.hh"
+#include "common/table.hh"
+#include "cpu/system_sim.hh"
+
+using namespace arcc;
+
+int
+main()
+{
+    printBanner("Background scrubbing vs the closed-form model");
+
+    SystemConfig cfg;
+    cfg.mem = arccConfig();
+    cfg.instrsPerCore = 150'000;
+    cfg.seed = 20130223;
+    const WorkloadMix &mix = table73Mixes()[8];
+
+    SimResult clean = simulateMix(mix, cfg, {});
+    std::printf("workload %s on %s, no scrubbing: IPC sum %.3f, "
+                "%.1f W DRAM\n\n",
+                mix.name.c_str(), cfg.mem.name.c_str(), clean.ipcSum,
+                clean.avgPowerMw / 1000.0);
+
+    // Per-channel bus bandwidth for the closed-form model: the data
+    // bus moves two beats per clock.
+    double bus_bytes_per_sec = cfg.mem.dataBusBits() / 8.0 * 2.0 /
+                               (cfg.mem.device.tCK * 1e-9);
+    double channel_bytes = static_cast<double>(cfg.mem.dataBytes()) /
+                           cfg.mem.channels;
+
+    TextTable t;
+    t.header({"Period (h)", "Scrub accesses", "IPC sum", "IPC loss",
+              "DRAM power", "Model BW share"});
+    for (double period : {0.08, 0.04, 0.02, 0.01, 0.005}) {
+        SystemConfig scfg = cfg;
+        scfg.backgroundScrub.enabled = true;
+        scfg.backgroundScrub.periodHours = period;
+        SimResult r = simulateMix(mix, scfg, {});
+
+        double loss = 1.0 - r.ipcSum / clean.ipcSum;
+        double model = Scrubber::bandwidthFraction(
+            Scrubber::scrubSeconds(channel_bytes, bus_bytes_per_sec),
+            period);
+        t.row({TextTable::num(period, 3),
+               TextTable::num(static_cast<double>(r.scrubReads +
+                                                  r.scrubWrites), 0),
+               TextTable::num(r.ipcSum, 3), TextTable::pct(loss),
+               TextTable::num(r.avgPowerMw / 1000.0, 2) + " W",
+               TextTable::pct(model)});
+    }
+    t.print();
+
+    std::printf(
+        "\nThe measured loss scales with the sweep rate but runs a\n"
+        "small multiple above the closed-form share: the model\n"
+        "counts data-bus beats, while the write-0/write-1 passes\n"
+        "re-open the same row each time and are bank-cycle (tRC)\n"
+        "bound -- exactly the contention a closed-form estimate\n"
+        "misses.  When the period outruns the scrubber's\n"
+        "one-outstanding-request budget it degrades to continuous\n"
+        "scrubbing (the access counts stop doubling with the rate).\n"
+        "At the paper's real periods (hours) the share is far below\n"
+        "1%%:\n");
+    for (double period : {12.0, 24.0}) {
+        double model = Scrubber::bandwidthFraction(
+            Scrubber::scrubSeconds(channel_bytes, bus_bytes_per_sec),
+            period);
+        std::printf("  one sweep per %4.0f h -> %.3f%% of channel "
+                    "bandwidth (model)\n", period, model * 100.0);
+    }
+    return 0;
+}

@@ -278,7 +278,8 @@ double
 Scrubber::scrubSeconds(double bytes, double bus_bytes_per_sec)
 {
     // Three reads + three writes of the full contents (Section 4.2.2).
-    return 6.0 * bytes / bus_bytes_per_sec;
+    return accessesPerLine(/*test_patterns=*/true) * bytes /
+           bus_bytes_per_sec;
 }
 
 double

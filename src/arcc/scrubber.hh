@@ -136,10 +136,25 @@ class Scrubber
     static constexpr std::uint64_t kShardPages = 8;
 
     /**
+     * DRAM accesses one line's scrub visit costs: 6 with the
+     * write-0 / write-1 test patterns (three read passes + three
+     * write passes, Section 4.2.2), 2 for a plain read + restore.
+     * Shared by the closed-form overhead model below and by the
+     * system simulator's background-scrub injection
+     * (cpu/system_sim.hh), so the two overhead estimates count the
+     * same traffic.
+     */
+    static int accessesPerLine(bool test_patterns)
+    {
+        return test_patterns ? 6 : 2;
+    }
+
+    /**
      * Closed-form overhead model of Section 4.2.2: scrub duration for
-     * a channel of `bytes` at `bus_bytes_per_sec`, and the fraction of
-     * bandwidth consumed at one scrub per `period_hours`.  The factor
-     * 6 covers the three read passes and three write passes.
+     * a channel of `bytes` at `bus_bytes_per_sec` (a full
+     * test-pattern sweep moves accessesPerLine(true) == 6 times the
+     * contents), and the fraction of bandwidth consumed at one scrub
+     * per `period_hours`.
      */
     static double scrubSeconds(double bytes, double bus_bytes_per_sec);
     static double bandwidthFraction(double scrub_seconds,

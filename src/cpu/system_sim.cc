@@ -1,15 +1,19 @@
 /**
  * @file
- * System simulator implementation.
+ * System simulator implementation: the decoupled front-end /
+ * channel-sharded back-end pipeline (see the header for the design).
  */
 
 #include "cpu/system_sim.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "arcc/scrubber.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "dram/channel_shard.hh"
 #include "engine/sim_engine.hh"
 
 namespace arcc
@@ -110,66 +114,239 @@ PageUpgradeOracle::name(Scenario s)
 }
 
 // ---------------------------------------------------------------------
-// simulateStreams / simulateMix
+// simulateStreams: the sharded pipeline
 // ---------------------------------------------------------------------
 
 namespace
 {
 
-/** Per-core simulation state. */
-struct CoreState
+/** One recorded LLC access of one core (phase 1). */
+struct RecordedAccess
 {
-    StreamSpec spec;
-    /** Time the pending access reaches the LLC. */
-    double readyAt = 0.0;
-    CoreWorkload::Access pending;
-    std::uint64_t instrs = 0;
-    bool done = false;
+    std::uint64_t addr = 0;
+    /** Full width: capping would desynchronise the recorded budget
+     *  from the front-end's replayed one. */
+    std::uint64_t instrGap = 0;
+    bool isWrite = false;
 };
 
-} // anonymous namespace
-
-SimResult
-simulateStreams(std::vector<StreamSpec> streams,
-                const SystemConfig &config,
-                const PageUpgradeOracle &oracle)
+/** One memory request the front-end hands a channel shard. */
+struct ChannelRequest
 {
-    if (streams.size() != 4)
-        fatal("simulateStreams: the system model has 4 cores, got %zu "
-              "streams", streams.size());
+    double arrival = 0.0;
+    DramCoord a;
+    /** Second sub-line of a paired access (unused otherwise). */
+    DramCoord b;
+    /** Completion slot index; slots are globally unique, so the shard
+     *  that owns this request writes the slot without synchronising. */
+    std::uint32_t slot = 0;
+    bool isWrite = false;
+    bool paired = false;
+};
 
-    MemorySystem memory(config.mem, config.mapPolicy, config.ctrl);
+/** The per-core timing ledger one front-end pass produces. */
+struct CoreLedger
+{
+    /** Compute time + hit latencies + replacement charges (ns): the
+     *  part of the core's finish time that memory cannot change. */
+    double fixedNs = 0.0;
+    std::uint64_t instrs = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    /** (completion slot, arrival ns) of every demand miss, in order. */
+    std::vector<std::pair<std::uint32_t, double>> misses;
+};
+
+/** Everything one front-end pass produces. */
+struct FrontendPass
+{
+    /** Arrival-ordered request stream of each channel shard group. */
+    std::vector<std::vector<ChannelRequest>> groupRequests;
+    std::vector<CoreLedger> cores;
+    std::uint32_t slots = 0;
+    /** Estimated end of the run (max estimated core finish, ns); the
+     *  shards keep injecting scrub traffic until this time. */
+    double estEndNs = 0.0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    LlcStats llcStats;
+};
+
+/** What one back-end shard returns through reduceShards. */
+struct ShardPartial
+{
+    /** The shard's channel state (on the heap: partials move). */
+    std::unique_ptr<ChannelSet> set;
+    std::uint64_t scrubReads = 0;
+    std::uint64_t scrubWrites = 0;
+};
+
+/**
+ * Per-channel background-scrub state: walks the channel's coordinate
+ * space one line per visit, `period / linesPerChannel` apart, so the
+ * whole channel is swept once per period.  A visit's accesses (the
+ * test-pattern read/write passes of one line) are *self-paced*: each
+ * issues only after the previous one's data is back, like the real
+ * scrubber state machine.  Self-pacing bounds the scrubber to one
+ * outstanding request, so an unsustainably short period degrades to
+ * continuous scrubbing instead of an unbounded request backlog --
+ * and per-channel arrival order stays non-decreasing, which the
+ * channel model requires.  Pure function of the configuration --
+ * every shard derives the same cadence.
+ */
+struct ScrubCursor
+{
+    /** Due time of the next scrub access (ns). */
+    double nextAt = 0.0;
+    /** Cadence slot of the current line visit (ns). */
+    double visitAt = 0.0;
+    double intervalNs = 0.0;
+    /** Which of the visit's accessesPerLine accesses is next. */
+    int subIdx = 0;
+    DramCoord coord;
+    int ranks = 1;
+    int banks = 1;
+    std::uint32_t rows = 1;
+    std::uint32_t columns = 1;
+
+    ScrubCursor(int channel, const SystemConfig &config,
+                const AddressMap &map)
+    {
+        coord.channel = channel;
+        ranks = config.mem.ranksPerChannel;
+        banks = config.mem.device.banks;
+        rows = map.rows();
+        columns = map.linesPerRow();
+        double period_ns =
+            config.backgroundScrub.periodHours * 3600.0 * 1e9;
+        intervalNs =
+            period_ns / static_cast<double>(map.linesPerChannel());
+    }
+
+    /**
+     * Account one issued access that completed at `completion`;
+     * schedules the next pattern pass (after the data is back) or,
+     * at the end of the visit, the next line's cadence slot.
+     */
+    void
+    issued(double completion, int accesses_per_line)
+    {
+        if (++subIdx < accesses_per_line) {
+            nextAt = completion;
+            return;
+        }
+        subIdx = 0;
+        advanceLine();
+        visitAt += intervalNs;
+        nextAt = std::max(visitAt, completion);
+    }
+
+    /** Advance to the next line: column fastest, then bank, rank, row
+     *  (wrapping), i.e. maximal bank rotation between visits. */
+    void
+    advanceLine()
+    {
+        if (++coord.column < columns)
+            return;
+        coord.column = 0;
+        if (++coord.bank < banks)
+            return;
+        coord.bank = 0;
+        if (++coord.rank < ranks)
+            return;
+        coord.rank = 0;
+        if (++coord.row >= rows)
+            coord.row = 0;
+    }
+};
+
+/**
+ * Record each core's access stream up to the instruction budget.  The
+ * generators are pure per-core sequences (timing never feeds back),
+ * so one recording serves every latency-feedback pass.
+ */
+std::vector<std::vector<RecordedAccess>>
+recordTraces(std::vector<StreamSpec> &streams,
+             const SystemConfig &config)
+{
+    std::vector<std::vector<RecordedAccess>> traces(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        std::uint64_t instrs = 0;
+        do {
+            CoreWorkload::Access a = streams[i].next();
+            traces[i].push_back({a.addr, a.instrGap, a.isWrite});
+            instrs += a.instrGap;
+        } while (instrs < config.instrsPerCore);
+    }
+    return traces;
+}
+
+/**
+ * One front-end pass: the core + LLC event loop with per-core
+ * estimated miss latencies, emitting the channel request streams.
+ */
+FrontendPass
+runFrontend(const std::vector<std::vector<RecordedAccess>> &traces,
+            const std::vector<StreamSpec> &specs,
+            const SystemConfig &config, const PageUpgradeOracle &oracle,
+            const AddressMap &map, const ChannelShardPlan &plan,
+            const std::vector<double> &estLatencyNs)
+{
+    const double cycle_ns = 1.0 / config.cpuGhz;
+    const std::uint64_t capacity = map.capacity();
+    const int n = static_cast<int>(traces.size());
+
+    FrontendPass fe;
+    fe.groupRequests.resize(plan.groups());
+    fe.cores.resize(n);
+
     std::unique_ptr<BaseLlc> llc;
     if (config.sectoredLlc)
         llc = std::make_unique<SectoredLlc>(config.llc);
     else
         llc = std::make_unique<PairedTagLlc>(config.llc);
 
-    const double cycle_ns = 1.0 / config.cpuGhz;
-    const std::uint64_t capacity = memory.map().capacity();
+    auto emit = [&](double now, std::uint64_t addr, bool is_write,
+                    bool paired) {
+        ChannelRequest rq;
+        rq.arrival = now;
+        rq.isWrite = is_write;
+        rq.paired = paired;
+        if (paired) {
+            std::uint64_t base = addr & ~(kUpgradedLineBytes - 1);
+            rq.a = map.decode(base);
+            rq.b = map.decode(base + kLineBytes);
+            ARCC_ASSERT(plan.groupOf(rq.a.channel) ==
+                        plan.groupOf(rq.b.channel));
+        } else {
+            rq.a = map.decode(addr);
+        }
+        rq.slot = fe.slots++;
+        fe.groupRequests[plan.groupOf(rq.a.channel)].push_back(rq);
+        return rq.slot;
+    };
 
-    std::vector<CoreState> cores(4);
-    std::vector<CoreResult> results(4);
-    for (int i = 0; i < 4; ++i) {
-        cores[i].spec = std::move(streams[i]);
-        cores[i].pending = cores[i].spec.next();
+    struct CoreState
+    {
+        double readyAt = 0.0;
+        std::size_t idx = 0;
+        bool done = false;
+    };
+    std::vector<CoreState> cores(n);
+    for (int i = 0; i < n; ++i) {
         cores[i].readyAt =
-            static_cast<double>(cores[i].pending.instrGap) /
-            cores[i].spec.baseIpc * cycle_ns;
-        results[i].benchmark = cores[i].spec.name;
+            static_cast<double>(traces[i][0].instrGap) /
+            specs[i].baseIpc * cycle_ns;
+        fe.cores[i].fixedNs = cores[i].readyAt;
     }
 
-    std::uint64_t mem_reads = 0;
-    std::uint64_t mem_writes = 0;
-    double end_time = 0.0;
-    int active = 4;
-
+    int active = n;
     while (active > 0) {
-        // Pick the core whose pending access is earliest so memory sees
-        // non-decreasing arrival times.
+        // Pick the core whose pending access is earliest so every
+        // channel sees non-decreasing arrival times.
         int ci = -1;
         double best = 0.0;
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < n; ++i) {
             if (cores[i].done)
                 continue;
             if (ci < 0 || cores[i].readyAt < best) {
@@ -178,68 +355,253 @@ simulateStreams(std::vector<StreamSpec> streams,
             }
         }
         CoreState &core = cores[ci];
+        CoreLedger &ledger = fe.cores[ci];
+        const RecordedAccess &acc = traces[ci][core.idx];
         double now = core.readyAt;
 
-        std::uint64_t addr = core.pending.addr % capacity;
+        std::uint64_t addr = acc.addr % capacity;
         bool upgraded = oracle.upgraded(addr);
-        LlcOutcome out =
-            llc->access(addr, core.pending.isWrite, upgraded);
+        LlcOutcome out = llc->access(addr, acc.isWrite, upgraded);
 
-        ++results[ci].llcAccesses;
+        ++ledger.llcAccesses;
+        ledger.fixedNs += config.llc.hitLatencyNs;
         double done_at = now + config.llc.hitLatencyNs;
         if (!out.hit) {
-            ++results[ci].llcMisses;
+            ++ledger.llcMisses;
             // Dirty evictions go to memory without stalling the core.
             for (const Writeback &wb : out.writebacks) {
-                memory.access(now, wb.addr, /*is_write=*/true,
-                              wb.paired);
-                ++mem_writes;
+                emit(now, wb.addr % capacity, /*is_write=*/true,
+                     wb.paired);
+                ++fe.memWrites;
                 if (wb.paired)
-                    ++mem_writes; // both sub-lines hit the bus.
+                    ++fe.memWrites; // both sub-lines hit the bus.
             }
-            double completion =
-                memory.access(now, addr, /*is_write=*/false, upgraded);
-            ++mem_reads;
+            std::uint32_t slot =
+                emit(now, addr, /*is_write=*/false, upgraded);
+            ++fe.memReads;
             if (upgraded)
-                ++mem_reads;
-            double stall =
-                (completion - now) * (1.0 - config.stallOverlap);
-            done_at = now + config.llc.hitLatencyNs + stall;
+                ++fe.memReads;
+            ledger.misses.emplace_back(slot, now);
+            // Estimated stall; the merge replaces it with the stall
+            // the shard replay actually measures.
+            done_at +=
+                estLatencyNs[ci] * (1.0 - config.stallOverlap);
         }
-        if (out.replaced)
+        if (out.replaced) {
             done_at += config.llc.secondTagAccessNs;
+            ledger.fixedNs += config.llc.secondTagAccessNs;
+        }
 
-        core.instrs += core.pending.instrGap;
-        end_time = std::max(end_time, done_at);
+        ledger.instrs += acc.instrGap;
+        fe.estEndNs = std::max(fe.estEndNs, done_at);
 
-        if (core.instrs >= config.instrsPerCore) {
+        if (ledger.instrs >= config.instrsPerCore) {
             core.done = true;
             --active;
-            results[ci].instrs = core.instrs;
-            results[ci].ipc =
-                static_cast<double>(core.instrs) /
-                (done_at / cycle_ns);
             continue;
         }
 
-        core.pending = core.spec.next();
-        core.readyAt =
-            done_at + static_cast<double>(core.pending.instrGap) /
-                          core.spec.baseIpc * cycle_ns;
+        ++core.idx;
+        const RecordedAccess &next = traces[ci][core.idx];
+        double gap_ns = static_cast<double>(next.instrGap) /
+                        specs[ci].baseIpc * cycle_ns;
+        core.readyAt = done_at + gap_ns;
+        ledger.fixedNs += gap_ns;
     }
 
-    memory.finalize(end_time);
+    fe.llcStats = llc->stats();
+    return fe;
+}
 
+/**
+ * One back-end shard: replay the group's request stream (merged with
+ * its channels' scrub streams) through a private ChannelSet, writing
+ * completions into this shard's disjoint slots.
+ */
+ShardPartial
+replayShard(const SystemConfig &config, const AddressMap &map,
+            const ChannelShardPlan &plan, std::size_t group,
+            const std::vector<ChannelRequest> &requests,
+            double est_end_ns, std::vector<double> &completions)
+{
+    ShardPartial partial;
+    partial.set = std::make_unique<ChannelSet>(config.mem, config.ctrl,
+                                               plan.group(group));
+    ChannelSet &set = *partial.set;
+
+    const bool scrub_on = config.backgroundScrub.enabled;
+    const int accesses_per_line = Scrubber::accessesPerLine(
+        config.backgroundScrub.testPatterns);
+    std::vector<ScrubCursor> cursors;
+    if (scrub_on)
+        for (int channel : plan.group(group))
+            cursors.emplace_back(channel, config, map);
+
+    // Issue the cursor's next scrub access: the pattern passes of one
+    // line alternate read/write and self-pace on their completions.
+    auto step = [&](ScrubCursor &cur) {
+        bool is_write = (cur.subIdx % 2) == 1;
+        double completion =
+            set.access(cur.nextAt, cur.coord, is_write);
+        if (is_write)
+            ++partial.scrubWrites;
+        else
+            ++partial.scrubReads;
+        cur.issued(completion, accesses_per_line);
+    };
+    // The earliest-due cursor (ties broken by vector order, which is
+    // ascending channel id -- deterministic).
+    auto dueCursor = [&](double before) -> ScrubCursor * {
+        ScrubCursor *due = nullptr;
+        for (ScrubCursor &cur : cursors)
+            if (cur.nextAt <= before &&
+                (!due || cur.nextAt < due->nextAt))
+                due = &cur;
+        return due;
+    };
+
+    for (const ChannelRequest &rq : requests) {
+        if (scrub_on)
+            while (ScrubCursor *cur = dueCursor(rq.arrival))
+                step(*cur);
+        completions[rq.slot] =
+            rq.paired
+                ? set.accessPaired(rq.arrival, rq.a, rq.b, rq.isWrite)
+                : set.access(rq.arrival, rq.a, rq.isWrite);
+    }
+    // Keep scrubbing through the rest of the run window: the traffic
+    // is gone but the power (and the sweep cadence) is not.
+    if (scrub_on)
+        while (ScrubCursor *cur = dueCursor(est_end_ns))
+            step(*cur);
+
+    return partial;
+}
+
+} // anonymous namespace
+
+SimResult
+simulateStreams(std::vector<StreamSpec> streams,
+                const SystemConfig &config,
+                const PageUpgradeOracle &oracle, SimEngine *engine)
+{
+    if (config.cores < 1)
+        fatal("simulateStreams: config.cores must be >= 1, got %d",
+              config.cores);
+    if (static_cast<int>(streams.size()) != config.cores)
+        fatal("simulateStreams: config.cores is %d, got %zu streams",
+              config.cores, streams.size());
+    if (config.backgroundScrub.enabled &&
+        config.backgroundScrub.periodHours <= 0.0)
+        fatal("simulateStreams: backgroundScrub.periodHours must be "
+              "> 0, got %g", config.backgroundScrub.periodHours);
+    if (!engine)
+        engine = &SimEngine::global();
+
+    const double cycle_ns = 1.0 / config.cpuGhz;
+    AddressMap map(config.mem, config.mapPolicy);
+    ChannelShardPlan plan(map, oracle.mayUpgrade());
+
+    // Phase 1: draw every core's access stream once.
+    std::vector<std::vector<RecordedAccess>> traces =
+        recordTraces(streams, config);
+
+    std::vector<double> est_latency(
+        streams.size(), config.mem.device.unloadedReadLatencyNs());
+
+    // The decoupled model is a fixed point: the front-end spaces
+    // arrivals by the estimated miss latency, the replay measures the
+    // latency those arrivals produce.  Iterate (damped -- a saturated
+    // channel oscillates undamped) until the measurement agrees with
+    // the estimate, so the reported timeline is self-consistent: the
+    // stalls the merge charges are the stalls the arrival spacing
+    // actually caused.  The loop is pure arithmetic on deterministic
+    // values, so the pass count never depends on the thread count.
+    const int passes = std::max(1, config.latencyPasses);
+    constexpr double kLatencyTolerance = 0.05;
+    FrontendPass fe;
+    std::vector<double> completions;
+    std::vector<ShardPartial> partials;
+    for (int pass = 0; pass < passes; ++pass) {
+        // Phase 2: the serial core + LLC loop.
+        fe = runFrontend(traces, streams, config, oracle, map, plan,
+                         est_latency);
+        completions.assign(fe.slots, 0.0);
+
+        // Phase 3: one shard per channel group, bit-identical at any
+        // thread count (fixed boundaries, disjoint completion slots,
+        // shard-order merge).
+        partials = engine->reduceShards(
+            plan.groups(), 1,
+            [&](const ShardRange &shard) {
+                return replayShard(config, map, plan, shard.begin,
+                                   fe.groupRequests[shard.begin],
+                                   fe.estEndNs, completions);
+            },
+            [](std::vector<ShardPartial> &&p) { return std::move(p); });
+
+        if (pass + 1 == passes)
+            break;
+        double worst_residual = 0.0;
+        for (std::size_t i = 0; i < fe.cores.size(); ++i) {
+            const CoreLedger &ledger = fe.cores[i];
+            if (ledger.misses.empty())
+                continue;
+            double sum = 0.0;
+            for (const auto &[slot, arrival] : ledger.misses)
+                sum += completions[slot] - arrival;
+            double measured =
+                sum / static_cast<double>(ledger.misses.size());
+            worst_residual =
+                std::max(worst_residual,
+                         std::abs(measured - est_latency[i]) /
+                             est_latency[i]);
+            est_latency[i] = 0.5 * (est_latency[i] + measured);
+        }
+        if (worst_residual < kLatencyTolerance)
+            break;
+    }
+
+    // Phase 4: merge, in shard / core order on the calling thread.
     SimResult res;
-    res.cores = results;
-    for (const auto &c : results)
-        res.ipcSum += c.ipc;
+    res.cores.resize(streams.size());
+    double max_finish = 0.0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const CoreLedger &ledger = fe.cores[i];
+        double finish = ledger.fixedNs;
+        for (const auto &[slot, arrival] : ledger.misses)
+            finish += (completions[slot] - arrival) *
+                      (1.0 - config.stallOverlap);
+        CoreResult &core = res.cores[i];
+        core.benchmark = streams[i].name;
+        core.instrs = ledger.instrs;
+        core.ipc = static_cast<double>(ledger.instrs) /
+                   (finish / cycle_ns);
+        core.llcAccesses = ledger.llcAccesses;
+        core.llcMisses = ledger.llcMisses;
+        res.ipcSum += core.ipc;
+        max_finish = std::max(max_finish, finish);
+    }
+
+    // The run ends when the last core retires its budget, exactly as
+    // in the pre-sharding event loop; queue drain beyond that point
+    // (already converged to near zero by the latency fixed point)
+    // accrues its activity at commit time and needs no window.
+    double end_time = max_finish;
+    for (ShardPartial &partial : partials) {
+        partial.set->finalize(end_time);
+        const PowerBreakdown &p = partial.set->breakdown();
+        res.power.dynamicNj += p.dynamicNj;
+        res.power.backgroundNj += p.backgroundNj;
+        res.power.refreshNj += p.refreshNj;
+        res.scrubReads += partial.scrubReads;
+        res.scrubWrites += partial.scrubWrites;
+    }
     res.elapsedNs = end_time;
-    res.power = memory.breakdown();
     res.avgPowerMw = res.power.avgPowerMw(end_time);
-    res.llcStats = llc->stats();
-    res.memReads = mem_reads;
-    res.memWrites = mem_writes;
+    res.llcStats = fe.llcStats;
+    res.memReads = fe.memReads;
+    res.memWrites = fe.memWrites;
     return res;
 }
 
@@ -249,12 +611,16 @@ simulateMixBatch(const std::vector<MixJob> &jobs, SimEngine *engine)
     if (!engine)
         engine = &SimEngine::global();
     // Shard-reduce with one job per shard: the partials vector the
-    // merge receives *is* the result list in job order.
+    // merge receives *is* the result list in job order.  Each job's
+    // own channel shards run nested on the same engine (the worker
+    // executes queued shards while it waits, so this cannot
+    // deadlock).
     return engine->reduceShards(
         jobs.size(), 1,
         [&](const ShardRange &shard) {
             const MixJob &job = jobs[shard.begin];
-            return simulateMix(job.mix, job.config, job.oracle);
+            return simulateMix(job.mix, job.config, job.oracle,
+                               engine);
         },
         [](std::vector<SimResult> &&results) {
             return std::move(results);
@@ -263,15 +629,16 @@ simulateMixBatch(const std::vector<MixJob> &jobs, SimEngine *engine)
 
 SimResult
 simulateMix(const WorkloadMix &mix, const SystemConfig &config,
-            const PageUpgradeOracle &oracle)
+            const PageUpgradeOracle &oracle, SimEngine *engine)
 {
-    if (mix.benchmarks.size() != 4)
-        fatal("mix '%s' must have 4 benchmarks", mix.name.c_str());
+    if (static_cast<int>(mix.benchmarks.size()) != config.cores)
+        fatal("mix '%s' has %zu benchmarks but config.cores is %d",
+              mix.name.c_str(), mix.benchmarks.size(), config.cores);
 
     // Capacity depends only on the memory config, not the controller.
     AddressMap map(config.mem, config.mapPolicy);
     std::vector<StreamSpec> streams;
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < config.cores; ++i) {
         const BenchmarkProfile &prof =
             benchmarkProfile(mix.benchmarks[i]);
         auto wl = std::make_shared<CoreWorkload>(
@@ -282,7 +649,7 @@ simulateMix(const WorkloadMix &mix, const SystemConfig &config,
         spec.next = [wl]() { return wl->next(); };
         streams.push_back(std::move(spec));
     }
-    return simulateStreams(std::move(streams), config, oracle);
+    return simulateStreams(std::move(streams), config, oracle, engine);
 }
 
 } // namespace arcc

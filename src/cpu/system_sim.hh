@@ -1,14 +1,46 @@
 /**
  * @file
- * Quad-core trace-driven system simulator (the M5 substitute).
+ * Multi-core trace-driven system simulator (the M5 substitute).
  *
- * Four cores, a shared LLC (either ARCC design), and the DDR2 memory
- * system are co-simulated event-driven in nanoseconds.  The processor
- * model follows Table 7.2 in spirit: a modest 2-wide core whose compute
- * throughput between LLC accesses is the benchmark's base IPC, with a
- * configurable fraction of each memory stall hidden by the out-of-order
- * window.  Performance of a mix is reported as the sum of the per-core
- * IPCs, exactly as the paper reports it.
+ * N cores (4 by default, SystemConfig::cores), a shared LLC (either
+ * ARCC design), and the DDR2 memory system are co-simulated in
+ * nanoseconds.  The processor model follows Table 7.2 in spirit: a
+ * modest 2-wide core whose compute throughput between LLC accesses is
+ * the benchmark's base IPC, with a configurable fraction of each
+ * memory stall hidden by the out-of-order window.  Performance of a
+ * mix is reported as the sum of the per-core IPCs, exactly as the
+ * paper reports it.
+ *
+ * ## The sharded pipeline
+ *
+ * Since PR 4 the simulator is a decoupled two-plane pipeline built on
+ * `SimEngine::reduceShards`, replacing the original serial event
+ * loop:
+ *
+ *  1. **Record** -- each core's LLC access stream is drawn once from
+ *     its StreamSpec generator.  The streams are pure per-core
+ *     sequences (timing never feeds back into them), which is what
+ *     makes the phases separable.
+ *  2. **Front-end (serial)** -- the core + LLC event loop runs with a
+ *     per-core *estimated* memory latency and emits each miss /
+ *     writeback / eviction as a timestamped request into the stream
+ *     of the channel group that owns its DRAM coordinates.
+ *  3. **Back-end (sharded)** -- each shard owns one ChannelShardPlan
+ *     group (a disjoint set of channels; paired 128B sub-lines always
+ *     land in one group) and replays its request stream through a
+ *     private ChannelSet, interleaving background-scrub traffic when
+ *     enabled.  Shards write completions into disjoint slots.
+ *  4. **Merge (shard order)** -- per-core stalls are rebuilt from the
+ *     actual completions, the channel power partials are folded in
+ *     group order, and the measured per-core miss latency seeds the
+ *     next front-end pass (SystemConfig::latencyPasses).
+ *
+ * Shard boundaries depend only on the address map and the upgrade
+ * oracle -- never on the thread count -- so the reported result is
+ * bit-identical at 1 thread and at 64 (tests/test_determinism.cc
+ * enforces this).  The latency feedback makes the decoupled model
+ * self-throttling: pass 1 discovers each core's loaded miss latency,
+ * pass 2 re-runs the front-end with arrivals spaced accordingly.
  */
 
 #ifndef ARCC_CPU_SYSTEM_SIM_HH
@@ -51,23 +83,39 @@ class PageUpgradeOracle
     /** No pages upgraded. */
     PageUpgradeOracle() = default;
 
-    /** Structured scenario evaluated against the given address map. */
+    /**
+     * Structured scenario evaluated against the given address map.
+     * @param s      scenario; Fraction must use forFraction instead.
+     * @param config memory geometry the fault is embedded in.
+     */
     static PageUpgradeOracle forScenario(Scenario s,
                                          const MemoryConfig &config);
 
-    /** Pseudo-random pages upgraded at the given fraction. */
+    /**
+     * Pseudo-random pages upgraded at the given fraction.
+     * @param fraction expected fraction of pages upgraded, in [0, 1].
+     * @param config   memory geometry.
+     */
     static PageUpgradeOracle forFraction(double fraction,
                                          const MemoryConfig &config);
 
     /** @return true when addr's page operates in upgraded mode. */
     bool upgraded(std::uint64_t addr) const;
 
-    /** Expected fraction of pages upgraded. */
+    /** @return expected fraction of pages upgraded. */
     double expectedFraction() const { return expected_; }
+
+    /**
+     * @return true when *any* page can be upgraded, i.e. paired 128B
+     * traffic can occur.  The channel shard plan keys off this: with
+     * no paired traffic every channel is its own shard; with paired
+     * traffic the channels a pair spans must share a shard.
+     */
+    bool mayUpgrade() const { return expected_ > 0.0; }
 
     Scenario scenario() const { return scenario_; }
 
-    /** Human-readable scenario name. */
+    /** @return human-readable scenario name. */
     static const char *name(Scenario s);
 
   private:
@@ -75,6 +123,40 @@ class PageUpgradeOracle
     double expected_ = 0.0;
     double fraction_ = 0.0;
     std::shared_ptr<AddressMap> map_;
+};
+
+/**
+ * Background scrubbing interleaved with traffic (Section 4.2.2).
+ *
+ * When enabled, every channel's back-end replay stream carries the
+ * paper's test-pattern scrub sweep as real DRAM traffic: each 64B
+ * line of the channel is visited once per `periodHours`, and a visit
+ * issues `Scrubber::accessesPerLine(testPatterns)` alternating
+ * read/write accesses, each self-paced on the previous one's
+ * completion (the scrubber keeps at most one request outstanding, so
+ * an unsustainably short period degrades to continuous scrubbing
+ * rather than an unbounded backlog).  Scrub traffic competes for
+ * banks and the data bus exactly like demand traffic, so the
+ * reported IPC degradation is *measured* contention, complementing
+ * the closed-form `Scrubber::bandwidthFraction` model (the
+ * examples/background_scrub.cpp walkthrough compares the two).
+ *
+ * The injection window is the front-end's *estimated* run end, while
+ * SimResult::elapsedNs is the measured one.  At the latency fixed
+ * point's convergence the two agree within its tolerance, so the
+ * scrub counters and scrub power are consistent with the reported
+ * timeline; under `latencyPasses = 1` (open loop, or when a
+ * saturated run exhausts the pass budget) the windows can deviate
+ * accordingly -- one more reason the iterated default is preferred.
+ */
+struct BackgroundScrubConfig
+{
+    bool enabled = false;
+    /** One full sweep of every line per this many hours. */
+    double periodHours = 24.0;
+    /** Run the write-0 / write-1 test patterns (6 accesses per line
+     *  instead of 2) -- the paper's scrubber does. */
+    bool testPatterns = true;
 };
 
 /** Simulation knobs. */
@@ -85,11 +167,34 @@ struct SystemConfig
     ControllerConfig ctrl;
     MapPolicy mapPolicy = MapPolicy::HiPerf;
     bool sectoredLlc = false;
+    /**
+     * Core count.  Historically the model hard-wired 4 cores (the
+     * paper's quad-core machine, and simulateStreams fatally rejected
+     * any other stream count); any count >= 1 now works, with 4 still
+     * the default.  simulateMix requires the mix to supply exactly
+     * this many benchmarks, simulateStreams this many streams.
+     */
+    int cores = 4;
     /** Instructions each core retires before the run ends. */
     std::uint64_t instrsPerCore = 2'000'000;
     double cpuGhz = 3.0;
     /** Fraction of each memory stall hidden by the OoO window. */
     double stallOverlap = 0.3;
+    /**
+     * Maximum front-end/back-end latency-feedback passes (>= 1).
+     * Pass 1 spaces arrivals by the unloaded DRAM latency; each
+     * further pass re-runs the front-end with a damped update toward
+     * the per-core miss latency *measured* by the previous back-end
+     * replay, and the loop exits early once measurement and estimate
+     * agree within 5% -- the reported timeline is then
+     * self-consistent (the stalls charged are the stalls the arrival
+     * spacing caused).  Lightly loaded runs settle in 2-3 passes;
+     * saturated ones use the full budget.  1 is the fastest
+     * (open-loop) setting.
+     */
+    int latencyPasses = 6;
+    /** Background scrubbing interleaved with the traffic. */
+    BackgroundScrubConfig backgroundScrub;
     std::uint64_t seed = 42;
 };
 
@@ -115,11 +220,25 @@ struct SimResult
     LlcStats llcStats;
     std::uint64_t memReads = 0;
     std::uint64_t memWrites = 0;
+    /** Background-scrub accesses the channels absorbed (0 when the
+     *  BackgroundScrubConfig is disabled). */
+    std::uint64_t scrubReads = 0;
+    std::uint64_t scrubWrites = 0;
 };
 
-/** Run one mix on one configuration. */
+/**
+ * Run one mix on one configuration.
+ *
+ * @param mix    exactly config.cores benchmarks.
+ * @param config simulation knobs.
+ * @param oracle page upgrade decisions.
+ * @param engine engine the back-end shards run on; nullptr uses the
+ *               global one.  The result is bit-identical at any
+ *               thread count.
+ */
 SimResult simulateMix(const WorkloadMix &mix, const SystemConfig &config,
-                      const PageUpgradeOracle &oracle);
+                      const PageUpgradeOracle &oracle,
+                      SimEngine *engine = nullptr);
 
 /** One self-contained simulation job for the batched entry point. */
 struct MixJob
@@ -157,12 +276,20 @@ struct StreamSpec
 };
 
 /**
- * Run four arbitrary access streams (synthetic, trace replay, or a
- * mixture) through the same system model simulateMix uses.
+ * Run config.cores arbitrary access streams (synthetic, trace replay,
+ * or a mixture) through the sharded system model described in the
+ * file header.  simulateMix is this plus the Table 7.3 generators.
+ *
+ * @param streams exactly config.cores entries; each generator must
+ *                keep producing accesses until its core retires
+ *                config.instrsPerCore instructions.
+ * @param engine  engine the channel shards run on; nullptr uses the
+ *                global one.
  */
 SimResult simulateStreams(std::vector<StreamSpec> streams,
                           const SystemConfig &config,
-                          const PageUpgradeOracle &oracle);
+                          const PageUpgradeOracle &oracle,
+                          SimEngine *engine = nullptr);
 
 } // namespace arcc
 

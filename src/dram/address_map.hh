@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
 #include "dram/dram_params.hh"
 
 namespace arcc
@@ -68,21 +69,39 @@ class AddressMap
     AddressMap(const MemoryConfig &config,
                MapPolicy policy = MapPolicy::HiPerf);
 
-    /** @return coordinates of the line containing addr. */
+    /**
+     * @param addr physical byte address (any alignment; reduced to
+     *             its 64B line internally).  Must be < capacity().
+     * @return coordinates of the line containing addr.
+     */
     DramCoord decode(std::uint64_t addr) const;
 
-    /** @return byte address (line-aligned) of the given coordinates. */
+    /**
+     * @param coord valid coordinates for this map's geometry.
+     * @return byte address (line-aligned) of the given coordinates.
+     */
     std::uint64_t encode(const DramCoord &coord) const;
 
     /** @return total mapped bytes (the config's data capacity). */
     std::uint64_t capacity() const { return capacity_; }
 
-    /** Lines within one channel's slice of a row. */
+    /** @return 64B lines within one channel's slice of a row. */
     std::uint32_t linesPerRow() const { return lines_per_row_; }
 
-    /** Logical rows per bank. */
+    /** @return logical rows per bank. */
     std::uint32_t rows() const { return rows_; }
 
+    /** @return memory channels the map interleaves over. */
+    int channels() const { return channels_; }
+
+    /** @return 64B lines mapped to each channel (uniform: every
+     *  policy spreads the capacity evenly over the channels). */
+    std::uint64_t linesPerChannel() const
+    {
+        return capacity_ / kLineBytes / channels_;
+    }
+
+    /** @return the interleave policy this map implements. */
     MapPolicy policy() const { return policy_; }
 
   private:

@@ -6,9 +6,11 @@
 #include "dram/mem_controller.hh"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "dram/channel_shard.hh"
 
 namespace arcc
 {
@@ -183,10 +185,13 @@ MemorySystem::MemorySystem(const MemoryConfig &config,
                            MapPolicy map_policy, ControllerConfig ctrl)
     : config_(config), map_(config_, map_policy), ctrl_(ctrl)
 {
-    for (int c = 0; c < config_.channels; ++c)
-        channels_.push_back(
-            std::make_unique<MemChannel>(config_, ctrl_));
+    std::vector<int> all(config_.channels);
+    std::iota(all.begin(), all.end(), 0);
+    channels_ =
+        std::make_unique<ChannelSet>(config_, ctrl_, std::move(all));
 }
+
+MemorySystem::~MemorySystem() = default;
 
 double
 MemorySystem::access(double now, std::uint64_t addr, bool is_write,
@@ -194,66 +199,35 @@ MemorySystem::access(double now, std::uint64_t addr, bool is_write,
 {
     if (!paired) {
         DramCoord coord = map_.decode(addr % map_.capacity());
-        MemResponse r = channels_[coord.channel]->schedule(
-            now, coord, is_write, config_.devicesPerAccess);
-        return r.completion;
+        return channels_->access(now, coord, is_write);
     }
 
     // Upgraded line: the two sub-lines live at identical coordinates in
-    // the two interleaved channels; issue in lockstep.
-    std::uint64_t base = (addr % map_.capacity()) & ~(kUpgradedLineBytes - 1);
+    // the two interleaved channels; ChannelSet issues them in lockstep
+    // (or back to back under a non-interleaving map).
+    std::uint64_t base =
+        (addr % map_.capacity()) & ~(kUpgradedLineBytes - 1);
     DramCoord a = map_.decode(base);
     DramCoord b = map_.decode(base + kLineBytes);
-    if (a.channel == b.channel) {
-        // A mapping without channel interleaving (e.g. the Base map)
-        // cannot fetch the pair in parallel; the 128B line costs two
-        // sequential accesses on the one channel, which is exactly why
-        // Section 4.1 requires the interleaved maps.
-        MemChannel &ch = *channels_[a.channel];
-        MemResponse r1 =
-            ch.schedule(now, a, is_write, config_.devicesPerAccess);
-        MemResponse r2 =
-            ch.schedule(now, b, is_write, config_.devicesPerAccess);
-        return std::max(r1.completion, r2.completion);
-    }
-
-    MemChannel &cha = *channels_[a.channel];
-    MemChannel &chb = *channels_[b.channel];
-    double t = std::max(cha.earliestIssue(now, a, true),
-                        chb.earliestIssue(now, b, true));
-    MemResponse ra = cha.commit(t, a, is_write,
-                                config_.devicesPerAccess);
-    MemResponse rb = chb.commit(t, b, is_write,
-                                config_.devicesPerAccess);
-    return std::max(ra.completion, rb.completion);
+    return channels_->accessPaired(now, a, b, is_write);
 }
 
 void
 MemorySystem::finalize(double endTime)
 {
-    for (auto &ch : channels_)
-        ch->finalize(endTime);
+    channels_->finalize(endTime);
 }
 
 PowerBreakdown
 MemorySystem::breakdown() const
 {
-    PowerBreakdown total;
-    for (const auto &ch : channels_) {
-        total.dynamicNj += ch->breakdown().dynamicNj;
-        total.backgroundNj += ch->breakdown().backgroundNj;
-        total.refreshNj += ch->breakdown().refreshNj;
-    }
-    return total;
+    return channels_->breakdown();
 }
 
 std::uint64_t
 MemorySystem::accesses() const
 {
-    std::uint64_t n = 0;
-    for (const auto &ch : channels_)
-        n += ch->accesses();
-    return n;
+    return channels_->accesses();
 }
 
 } // namespace arcc

@@ -174,15 +174,29 @@ class MemChannel
     std::uint64_t accesses_ = 0;
 };
 
+class ChannelSet;
+
 /**
- * The full memory system: all channels plus pairing coordination.
+ * The full memory system: the serial-facing facade over every
+ * channel.
+ *
+ * Internally this is one ChannelSet (dram/channel_shard.hh) spanning
+ * all channels plus the address decode; the sharded system simulator
+ * bypasses the facade and gives each shard its own ChannelSet over a
+ * disjoint channel group instead.
  */
 class MemorySystem
 {
   public:
+    /**
+     * @param config     memory geometry and device parameters.
+     * @param map_policy address-interleave policy for the decode.
+     * @param ctrl       controller knobs (queue depth, pairing).
+     */
     MemorySystem(const MemoryConfig &config,
                  MapPolicy map_policy = MapPolicy::HiPerf,
                  ControllerConfig ctrl = {});
+    ~MemorySystem();
 
     /**
      * Issue one access.
@@ -198,23 +212,30 @@ class MemorySystem
     double access(double now, std::uint64_t addr, bool is_write,
                   bool paired);
 
-    /** Finish background accounting; call once, at simulation end. */
+    /**
+     * Finish background accounting; call once, at simulation end.
+     * @param endTime wall-clock end of the simulated window (ns).
+     */
     void finalize(double endTime);
 
-    /** Aggregate power breakdown (valid after finalize). */
+    /** @return aggregate power breakdown (valid after finalize). */
     PowerBreakdown breakdown() const;
 
-    /** Total accesses issued. */
+    /** @return total accesses issued across all channels. */
     std::uint64_t accesses() const;
 
+    /** @return the address map the facade decodes through. */
     const AddressMap &map() const { return map_; }
+
+    /** @return the memory configuration this system models. */
     const MemoryConfig &config() const { return config_; }
 
   private:
     MemoryConfig config_;
     AddressMap map_;
     ControllerConfig ctrl_;
-    std::vector<std::unique_ptr<MemChannel>> channels_;
+    /** All channels as one set (heap: ChannelSet is fwd-declared). */
+    std::unique_ptr<ChannelSet> channels_;
 };
 
 } // namespace arcc

@@ -4,7 +4,8 @@
  * engines and the bench scenario sweeps.
  *
  * The engine splits N independent items (Monte Carlo trials, (mix,
- * scenario) simulation jobs) into fixed-size shards and runs the
+ * scenario) simulation jobs, scrub page ranges, the system
+ * simulator's channel groups) into fixed-size shards and runs the
  * shards on a work-stealing thread pool.  Determinism is a design
  * invariant, not an accident:
  *
@@ -22,7 +23,12 @@
  * The calling thread participates: while a sharded call is in flight
  * it executes queued shards itself, so a zero-worker engine is simply
  * a deterministic sequential loop and nested sharded calls cannot
- * deadlock the pool.
+ * deadlock the pool.  simulateMixBatch relies on this: each batched
+ * job runs its own channel-sharded back-end nested on the same
+ * engine.
+ *
+ * docs/ARCHITECTURE.md documents the shard-reduce contract every
+ * user of this engine honours.
  */
 
 #ifndef ARCC_ENGINE_SIM_ENGINE_HH

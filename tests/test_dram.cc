@@ -7,6 +7,7 @@
 
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "dram/channel_shard.hh"
 #include "dram/dram_params.hh"
 #include "dram/mem_controller.hh"
 
@@ -270,6 +271,85 @@ TEST(MemChannel, FifoPartitionConstrainsPairedIssue)
     double fifo = ch.earliestIssue(0.0, other, /*paired=*/true);
     double free = ch.earliestIssue(0.0, other, /*paired=*/false);
     EXPECT_GT(fifo, free);
+}
+
+TEST(ChannelShardPlan, PairableGroupsFollowTheMapInterleave)
+{
+    MemoryConfig cfg = arccConfig();
+    // HiPerf / ClosePage interleave adjacent lines over the channels,
+    // so the 128B pair spans channels {0, 1}: one pairable group.
+    for (MapPolicy p : {MapPolicy::HiPerf, MapPolicy::ClosePage}) {
+        AddressMap map(cfg, p);
+        ChannelShardPlan plan(map, /*pairable=*/true);
+        ASSERT_EQ(plan.groups(), 1u);
+        EXPECT_EQ(plan.group(0), (std::vector<int>{0, 1}));
+        EXPECT_EQ(plan.groupOf(0), 0);
+        EXPECT_EQ(plan.groupOf(1), 0);
+    }
+    // The Base map keeps the pair in one channel: singleton groups.
+    AddressMap base(cfg, MapPolicy::Base);
+    ChannelShardPlan base_plan(base, /*pairable=*/true);
+    ASSERT_EQ(base_plan.groups(), 2u);
+    EXPECT_EQ(base_plan.group(0), (std::vector<int>{0}));
+    EXPECT_EQ(base_plan.group(1), (std::vector<int>{1}));
+}
+
+TEST(ChannelShardPlan, UnpairableTrafficShardsPerChannel)
+{
+    // With no upgraded pages possible there is no paired traffic, so
+    // every channel is its own shard regardless of the interleave.
+    AddressMap map(arccConfig(), MapPolicy::HiPerf);
+    ChannelShardPlan plan(map, /*pairable=*/false);
+    ASSERT_EQ(plan.groups(), 2u);
+    EXPECT_EQ(plan.groupOf(0), 0);
+    EXPECT_EQ(plan.groupOf(1), 1);
+}
+
+TEST(ChannelSet, MatchesMemorySystemRequestForRequest)
+{
+    // The facade is now implemented on ChannelSet; drive a ChannelSet
+    // over all channels with pre-decoded coordinates and require
+    // bit-identical completions and power to MemorySystem.
+    MemoryConfig cfg = arccConfig();
+    MemorySystem sys(cfg);
+    ChannelSet set(cfg, ControllerConfig{}, {0, 1});
+    const AddressMap &map = sys.map();
+
+    Rng rng(11);
+    double now = 0.0;
+    for (int i = 0; i < 400; ++i) {
+        now += rng.uniform() * 8.0;
+        bool paired = rng.chance(0.3);
+        bool is_write = rng.chance(0.3);
+        std::uint64_t addr =
+            rng.below(map.capacity() / kUpgradedLineBytes) *
+            kUpgradedLineBytes;
+        double via_sys = sys.access(now, addr, is_write, paired);
+        double via_set;
+        if (paired) {
+            via_set = set.accessPaired(now, map.decode(addr),
+                                       map.decode(addr + kLineBytes),
+                                       is_write);
+        } else {
+            via_set = set.access(now, map.decode(addr), is_write);
+        }
+        EXPECT_EQ(via_sys, via_set);
+    }
+    sys.finalize(now);
+    set.finalize(now);
+    EXPECT_EQ(sys.accesses(), set.accesses());
+    EXPECT_EQ(sys.breakdown().totalNj(), set.breakdown().totalNj());
+}
+
+TEST(ChannelSet, RejectsCoordinatesItDoesNotOwn)
+{
+    MemoryConfig cfg = arccConfig();
+    ChannelSet set(cfg, ControllerConfig{}, {1});
+    EXPECT_TRUE(set.owns(1));
+    EXPECT_FALSE(set.owns(0));
+    DramCoord foreign{};
+    foreign.channel = 0;
+    EXPECT_DEATH(set.access(0.0, foreign, false), "assertion");
 }
 
 TEST(MemorySystem, PairedAccessFallsBackUnderBaseMap)

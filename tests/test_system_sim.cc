@@ -193,6 +193,80 @@ TEST(SystemSim, SectoredLlcAlsoRuns)
     EXPECT_GT(res.ipcSum, 0.0);
 }
 
+TEST(SystemSim, CoreCountIsConfigurable)
+{
+    // The model historically hard-wired 4 cores; any count works now.
+    for (int n : {1, 2, 6}) {
+        SystemConfig cfg = quickConfig(arccConfig());
+        cfg.cores = n;
+        cfg.instrsPerCore = 50'000;
+        WorkloadMix mix{"custom", {}};
+        for (int i = 0; i < n; ++i)
+            mix.benchmarks.push_back(i % 2 ? "milc" : "mcf2006");
+        SimResult res = simulateMix(mix, cfg, {});
+        ASSERT_EQ(res.cores.size(), static_cast<std::size_t>(n));
+        for (const auto &c : res.cores) {
+            EXPECT_GE(c.instrs, cfg.instrsPerCore);
+            EXPECT_GT(c.ipc, 0.0);
+        }
+    }
+}
+
+TEST(SystemSimDeathTest, StreamCountMustMatchConfiguredCores)
+{
+    SystemConfig cfg = quickConfig(arccConfig()); // cores = 4
+    std::vector<StreamSpec> streams(3);
+    for (auto &s : streams) {
+        s.next = [] { return CoreWorkload::Access{0, false, 100}; };
+        s.baseIpc = 1.0;
+    }
+    EXPECT_DEATH(simulateStreams(std::move(streams), cfg, {}),
+                 "config.cores");
+}
+
+TEST(SystemSim, BackgroundScrubCostsIpcAndShowsUpInTraffic)
+{
+    // Interleaved scrubbing must compete with demand traffic: with
+    // the sweep period compressed so many visits land inside the run
+    // window, reported IPC drops and the scrub counters show the
+    // absorbed accesses (3 reads + 3 writes per line visit).
+    SystemConfig cfg = quickConfig(arccConfig());
+    cfg.instrsPerCore = 150'000;
+    SimResult clean = simulateMix(table73Mixes()[8], cfg, {});
+
+    cfg.backgroundScrub.enabled = true;
+    cfg.backgroundScrub.periodHours = 0.02;
+    SimResult scrubbed = simulateMix(table73Mixes()[8], cfg, {});
+
+    EXPECT_GT(scrubbed.scrubReads, 0u);
+    EXPECT_EQ(scrubbed.scrubReads, scrubbed.scrubWrites);
+    EXPECT_EQ(clean.scrubReads, 0u);
+    EXPECT_LT(scrubbed.ipcSum, clean.ipcSum);
+
+    // Halving the period roughly doubles the injected traffic.
+    cfg.backgroundScrub.periodHours = 0.01;
+    SimResult faster = simulateMix(table73Mixes()[8], cfg, {});
+    EXPECT_GT(faster.scrubReads, scrubbed.scrubReads * 3 / 2);
+    EXPECT_LT(faster.ipcSum, clean.ipcSum);
+}
+
+TEST(SystemSim, PlainScrubSkipsTestPatternPasses)
+{
+    // testPatterns=false is the conventional read+restore scrubber:
+    // 2 accesses per line visit instead of 6, so a third the traffic.
+    SystemConfig cfg = quickConfig(arccConfig());
+    cfg.instrsPerCore = 100'000;
+    cfg.backgroundScrub.enabled = true;
+    cfg.backgroundScrub.periodHours = 0.02;
+    SimResult patterns = simulateMix(table73Mixes()[8], cfg, {});
+    cfg.backgroundScrub.testPatterns = false;
+    SimResult plain = simulateMix(table73Mixes()[8], cfg, {});
+    std::uint64_t pat =
+        patterns.scrubReads + patterns.scrubWrites;
+    std::uint64_t pl = plain.scrubReads + plain.scrubWrites;
+    EXPECT_NEAR(static_cast<double>(pl) / pat, 1.0 / 3.0, 0.05);
+}
+
 TEST(SystemSim, PairingPolicyPointerIsNotSlower)
 {
     SystemConfig fifo = quickConfig(arccConfig());
