@@ -106,20 +106,14 @@ main(int argc, char **argv)
 
     SimResult res;
     if (!trace_arg.empty()) {
-        // Four trace files, one per core.
+        // Four trace files, one per core; text or binary (the
+        // factory auto-detects the format by the magic and streams
+        // binary traces at O(chunk) memory).
         std::vector<StreamSpec> streams;
         std::stringstream ss(trace_arg);
         std::string path;
         while (std::getline(ss, path, ','))
-        {
-            auto replay =
-                std::make_shared<TraceReplay>(loadTrace(path));
-            StreamSpec spec;
-            spec.name = path;
-            spec.baseIpc = 1.0;
-            spec.next = [replay]() { return replay->next(); };
-            streams.push_back(std::move(spec));
-        }
+            streams.push_back(traceStreamSpec(path, /*baseIpc=*/1.0));
         if (streams.size() != 4)
             fatal("--trace needs exactly 4 comma-separated files");
         res = simulateStreams(std::move(streams), cfg, oracle);

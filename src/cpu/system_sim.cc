@@ -574,6 +574,9 @@ simulateStreams(std::vector<StreamSpec> streams,
                       (1.0 - config.stallOverlap);
         CoreResult &core = res.cores[i];
         core.benchmark = streams[i].name;
+        // The recording phase drew the whole stream, so a trace's lap
+        // counter is final by now.
+        core.traceLaps = streams[i].laps ? streams[i].laps() : 0;
         core.instrs = ledger.instrs;
         core.ipc = static_cast<double>(ledger.instrs) /
                    (finish / cycle_ns);
@@ -627,6 +630,21 @@ simulateMixBatch(const std::vector<MixJob> &jobs, SimEngine *engine)
         });
 }
 
+StreamSpec
+syntheticStreamSpec(const std::string &benchmark,
+                    std::uint64_t memBytes, int coreId,
+                    std::uint64_t seed)
+{
+    const BenchmarkProfile &prof = benchmarkProfile(benchmark);
+    auto wl =
+        std::make_shared<CoreWorkload>(prof, memBytes, coreId, seed);
+    StreamSpec spec;
+    spec.name = prof.name;
+    spec.baseIpc = prof.baseIpc;
+    spec.next = [wl]() { return wl->next(); };
+    return spec;
+}
+
 SimResult
 simulateMix(const WorkloadMix &mix, const SystemConfig &config,
             const PageUpgradeOracle &oracle, SimEngine *engine)
@@ -638,17 +656,10 @@ simulateMix(const WorkloadMix &mix, const SystemConfig &config,
     // Capacity depends only on the memory config, not the controller.
     AddressMap map(config.mem, config.mapPolicy);
     std::vector<StreamSpec> streams;
-    for (int i = 0; i < config.cores; ++i) {
-        const BenchmarkProfile &prof =
-            benchmarkProfile(mix.benchmarks[i]);
-        auto wl = std::make_shared<CoreWorkload>(
-            prof, map.capacity(), i, config.seed + 1000003ULL * i);
-        StreamSpec spec;
-        spec.name = prof.name;
-        spec.baseIpc = prof.baseIpc;
-        spec.next = [wl]() { return wl->next(); };
-        streams.push_back(std::move(spec));
-    }
+    for (int i = 0; i < config.cores; ++i)
+        streams.push_back(syntheticStreamSpec(
+            mix.benchmarks[i], map.capacity(), i,
+            mixCoreSeed(config.seed, i)));
     return simulateStreams(std::move(streams), config, oracle, engine);
 }
 

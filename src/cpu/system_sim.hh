@@ -206,6 +206,11 @@ struct CoreResult
     double ipc = 0.0;
     std::uint64_t llcAccesses = 0;
     std::uint64_t llcMisses = 0;
+    /** Times the core's trace wrapped while covering the instruction
+     *  budget (0 for synthetic streams and unwrapped traces).  A high
+     *  lap count means the trace is short relative to the budget and
+     *  the run is dominated by repetition. */
+    std::uint64_t traceLaps = 0;
 };
 
 /** Whole-run outcome. */
@@ -273,7 +278,41 @@ struct StreamSpec
     std::string name;
     std::function<CoreWorkload::Access()> next;
     double baseIpc = 1.0;
+    /**
+     * Optional lap counter of the underlying trace (TraceReplay /
+     * TraceStream); sampled once the stream has been drawn and
+     * surfaced as CoreResult::traceLaps.  Leave empty for synthetic
+     * generators.
+     */
+    std::function<std::uint64_t()> laps;
 };
+
+/**
+ * The per-core seed spreading simulateMix applies to its run seed.
+ * Capture tools that want replay-closure with a live simulateMix run
+ * (tests, bench_trace_replay, examples) must derive their per-core
+ * generator seeds the same way.
+ */
+inline std::uint64_t
+mixCoreSeed(std::uint64_t seed, int coreId)
+{
+    return seed + 1000003ULL * static_cast<std::uint64_t>(coreId);
+}
+
+/**
+ * Wrap one synthetic benchmark generator as a simulateStreams core --
+ * the factory simulateMix uses, exposed so trace-driven and synthetic
+ * cores can be mixed freely in one run.
+ *
+ * @param benchmark Table 7.3 profile name (fatal if unknown).
+ * @param memBytes  memory capacity the footprint is placed in
+ *                  (AddressMap::capacity() of the run's config).
+ * @param coreId    places the core's footprint region.
+ * @param seed      RNG seed of this core's stream.
+ */
+StreamSpec syntheticStreamSpec(const std::string &benchmark,
+                               std::uint64_t memBytes, int coreId,
+                               std::uint64_t seed);
 
 /**
  * Run config.cores arbitrary access streams (synthetic, trace replay,

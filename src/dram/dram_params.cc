@@ -182,4 +182,33 @@ lotEcc9Config()
     return c;
 }
 
+MemoryConfig
+withChannels(MemoryConfig base, int channels)
+{
+    if (channels < 1)
+        fatal("withChannels: need >= 1 channel, got %d", channels);
+    std::uint64_t row_lines =
+        static_cast<std::uint64_t>(base.pagesPerRow) * kLinesPerPage;
+    if (row_lines % static_cast<std::uint64_t>(channels) != 0)
+        fatal("withChannels: %d pages/row (%llu lines) does not "
+              "split over %d channels",
+              base.pagesPerRow,
+              static_cast<unsigned long long>(row_lines), channels);
+    base.channels = channels;
+    base.name += " @" + std::to_string(channels) + "ch";
+    return base;
+}
+
+MemoryConfig
+arccConfig4()
+{
+    return withChannels(arccConfig(), 4);
+}
+
+MemoryConfig
+arccConfig8()
+{
+    return withChannels(arccConfig(), 8);
+}
+
 } // namespace arcc

@@ -30,6 +30,10 @@ configByName(const std::string &name)
         return baselineConfig();
     if (name == "arcc")
         return arccConfig();
+    if (name == "arcc4")
+        return arccConfig4();
+    if (name == "arcc8")
+        return arccConfig8();
     return lotEcc9Config();
 }
 
@@ -90,6 +94,10 @@ INSTANTIATE_TEST_SUITE_P(
                       MapCase{"arcc", MapPolicy::HiPerf},
                       MapCase{"arcc", MapPolicy::ClosePage},
                       MapCase{"arcc", MapPolicy::Base},
+                      MapCase{"arcc4", MapPolicy::HiPerf},
+                      MapCase{"arcc4", MapPolicy::ClosePage},
+                      MapCase{"arcc8", MapPolicy::HiPerf},
+                      MapCase{"arcc8", MapPolicy::Base},
                       MapCase{"lot9", MapPolicy::HiPerf}),
     [](const ::testing::TestParamInfo<MapCase> &info) {
         std::string policy =
@@ -116,6 +124,29 @@ TEST(AddressMap, AdjacentLinesAlternateChannelsUnderHiPerf)
         EXPECT_EQ(a.bank, b.bank);
         EXPECT_EQ(a.row, b.row);
         EXPECT_EQ(a.column, b.column);
+    }
+}
+
+TEST(AddressMap, PairsSpanAdjacentEvenOddChannelsOnWideConfigs)
+{
+    // The property ChannelShardPlan's probe discovers: under the
+    // interleaved maps a 128B pair always spans channels {2k, 2k+1},
+    // so the plan can shard a 2N-channel system into N pairable
+    // groups (and N*2 clean-traffic groups) instead of one.
+    for (int channels : {4, 8}) {
+        SCOPED_TRACE("channels=" + std::to_string(channels));
+        AddressMap map(withChannels(arccConfig(), channels),
+                       MapPolicy::HiPerf);
+        Rng rng(4);
+        for (int t = 0; t < 2000; ++t) {
+            std::uint64_t pair_base =
+                (rng.below(map.capacity() / kUpgradedLineBytes)) *
+                kUpgradedLineBytes;
+            DramCoord a = map.decode(pair_base);
+            DramCoord b = map.decode(pair_base + kLineBytes);
+            EXPECT_EQ(a.channel % 2, 0);
+            EXPECT_EQ(b.channel, a.channel + 1);
+        }
     }
 }
 

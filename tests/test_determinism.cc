@@ -20,11 +20,17 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
 #include <vector>
 
 #include "arcc/scrubber.hh"
 #include "common/rng.hh"
 #include "cpu/system_sim.hh"
+#include "cpu/trace.hh"
+#include "dram/channel_shard.hh"
 #include "dram/dram_params.hh"
 #include "engine/sim_engine.hh"
 #include "reliability/sdc_model.hh"
@@ -336,6 +342,146 @@ TEST(StreamSimDeterminism, ScrubPerturbationIsDeterministicToo)
     // (The *direction* of the perturbation under heavier scrub load
     // is asserted with margin in test_system_sim.cc; near-threshold
     // deltas may sit inside the latency fixed point's tolerance.)
+}
+
+// --- trace-driven simulateStreams at 4 and 8 channels -------------------
+
+/** RAII deleter for the captured per-core trace files. */
+struct TempFiles
+{
+    ~TempFiles()
+    {
+        for (const std::string &path : paths)
+            std::remove(path.c_str());
+    }
+    std::vector<std::string> paths;
+};
+
+/**
+ * The trace-driven multi-channel fixture: capture the Mix9 streams
+ * once into binary trace files (pure function of the seed), then
+ * replay them through simulateStreams on an `channels`-wide ARCC
+ * configuration.  At 4 channels a Device-fault oracle keeps paired
+ * traffic in play (2 pairable shard groups); at 8 channels the clean
+ * oracle shards per channel -- the widest fan in the tree (8 shards).
+ */
+SystemConfig
+traceSimConfig(int channels)
+{
+    SystemConfig cfg;
+    cfg.mem = withChannels(arccConfig(), channels);
+    cfg.instrsPerCore = 100000;
+    cfg.seed = 20130223;
+    return cfg;
+}
+
+void
+captureTraceFiles(const SystemConfig &cfg, const WorkloadMix &mix,
+                  TempFiles &files)
+{
+    AddressMap map(cfg.mem, cfg.mapPolicy);
+    for (int i = 0; i < cfg.cores; ++i) {
+        files.paths.push_back(
+            (std::filesystem::temp_directory_path() /
+             ("arcc_test_determinism." + std::to_string(::getpid()) +
+              "." + std::to_string(i) + ".bin"))
+                .string());
+        captureSyntheticTrace(mix.benchmarks[i], map.capacity(), i,
+                              mixCoreSeed(cfg.seed, i),
+                              cfg.instrsPerCore, files.paths.back());
+    }
+}
+
+SimResult
+runTraceSim(SimEngine *engine, const SystemConfig &cfg,
+            const WorkloadMix &mix, const TempFiles &files)
+{
+    std::vector<StreamSpec> streams;
+    for (int i = 0; i < cfg.cores; ++i)
+        streams.push_back(traceStreamSpec(
+            files.paths[i],
+            benchmarkProfile(mix.benchmarks[i]).baseIpc,
+            /*chunkRecords=*/512));
+    PageUpgradeOracle oracle;
+    if (cfg.mem.channels == 4)
+        oracle = PageUpgradeOracle::forScenario(
+            PageUpgradeOracle::Scenario::Device, cfg.mem);
+    return simulateStreams(std::move(streams), cfg, oracle, engine);
+}
+
+class TraceSimDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TraceSimDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    const int channels = GetParam();
+    SystemConfig cfg = traceSimConfig(channels);
+    const WorkloadMix &mix = table73Mixes()[8];
+    TempFiles files;
+    captureTraceFiles(cfg, mix, files);
+
+    // The shard fan this run exercises: one shard per pairable group
+    // at 4 channels, one per channel at 8.
+    AddressMap map(cfg.mem, cfg.mapPolicy);
+    ChannelShardPlan plan(map, /*pairable=*/channels == 4);
+    EXPECT_EQ(plan.groups(),
+              channels == 4 ? 2u : 8u);
+
+    SimEngine ref_engine(SimEngine::Options{1});
+    SimResult ref = runTraceSim(&ref_engine, cfg, mix, files);
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        expectEqual(runTraceSim(&engine, cfg, mix, files), ref);
+    }
+    // Each captured trace covers the budget exactly: one lap.
+    for (const CoreResult &core : ref.cores)
+        EXPECT_EQ(core.traceLaps, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FourAndEightChannels, TraceSimDeterminism,
+                         ::testing::Values(4, 8),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return std::to_string(info.param) +
+                                    "ch";
+                         });
+
+TEST(TraceSimDeterminism8Ch, GoldenCountersOnTheGlobalEngine)
+{
+    // Golden counters for the 8-channel trace replay through the
+    // ARCC_THREADS-sized global engine: CI runs this at 1 and 4
+    // threads and both must reproduce these numbers.  Integer
+    // counters are exact by the shard-reduce contract; ipcSum is a
+    // band (FP contraction varies across toolchains).
+    SystemConfig cfg = traceSimConfig(8);
+    const WorkloadMix &mix = table73Mixes()[8];
+    TempFiles files;
+    captureTraceFiles(cfg, mix, files);
+    SimResult r = runTraceSim(nullptr, cfg, mix, files);
+
+    EXPECT_EQ(r.memReads, 6471u);
+    EXPECT_EQ(r.memWrites, 0u);
+    EXPECT_EQ(r.llcStats.misses, 6471u);
+    EXPECT_NEAR(r.ipcSum, 1.6158, 0.05);
+}
+
+TEST(TraceSimDeterminism4Ch, GoldenCountersOnTheGlobalEngine)
+{
+    // As above at 4 channels with the Device-fault oracle: paired
+    // traffic crosses the {2k, 2k+1} shard groups.
+    SystemConfig cfg = traceSimConfig(4);
+    const WorkloadMix &mix = table73Mixes()[8];
+    TempFiles files;
+    captureTraceFiles(cfg, mix, files);
+    SimResult r = runTraceSim(nullptr, cfg, mix, files);
+
+    // memReads > llcMisses: the Device oracle upgrades half the
+    // pages, and each upgraded miss fetches both 64B sub-lines.
+    EXPECT_EQ(r.memReads, 8388u);
+    EXPECT_EQ(r.memWrites, 2u);
+    EXPECT_EQ(r.llcStats.misses, 5788u);
+    EXPECT_NEAR(r.ipcSum, 1.6737, 0.05);
 }
 
 TEST(MixBatchDeterminism, GlobalEngineMatchesSequentialReference)

@@ -305,6 +305,58 @@ TEST(ChannelShardPlan, UnpairableTrafficShardsPerChannel)
     EXPECT_EQ(plan.groupOf(1), 1);
 }
 
+TEST(ChannelShardPlan, WideConfigsFanOutPastTwoShards)
+{
+    // The 4- and 8-channel configurations exist to widen the back-end
+    // shard fan: pairable traffic groups channels {2k, 2k+1} under
+    // the interleaved maps, unpairable traffic shards per channel.
+    for (int channels : {4, 8}) {
+        SCOPED_TRACE("channels=" + std::to_string(channels));
+        MemoryConfig cfg = withChannels(arccConfig(), channels);
+        AddressMap map(cfg, MapPolicy::HiPerf);
+
+        ChannelShardPlan paired(map, /*pairable=*/true);
+        ASSERT_EQ(paired.groups(),
+                  static_cast<std::size_t>(channels / 2));
+        for (std::size_t g = 0; g < paired.groups(); ++g) {
+            int lo = static_cast<int>(2 * g);
+            EXPECT_EQ(paired.group(g),
+                      (std::vector<int>{lo, lo + 1}));
+            EXPECT_EQ(paired.groupOf(lo), static_cast<int>(g));
+            EXPECT_EQ(paired.groupOf(lo + 1), static_cast<int>(g));
+        }
+
+        ChannelShardPlan solo(map, /*pairable=*/false);
+        ASSERT_EQ(solo.groups(),
+                  static_cast<std::size_t>(channels));
+        for (int c = 0; c < channels; ++c)
+            EXPECT_EQ(solo.group(solo.groupOf(c)),
+                      (std::vector<int>{c}));
+    }
+}
+
+TEST(MemoryConfigChannels, WithChannelsScalesCapacityOnly)
+{
+    MemoryConfig base = arccConfig();
+    MemoryConfig wide = withChannels(base, 8);
+    EXPECT_EQ(wide.channels, 8);
+    EXPECT_EQ(wide.ranksPerChannel, base.ranksPerChannel);
+    EXPECT_EQ(wide.devicesPerRank, base.devicesPerRank);
+    EXPECT_EQ(wide.dataBytes(), base.dataBytes() * 4);
+    EXPECT_EQ(wide.name, base.name + " @8ch");
+    EXPECT_EQ(arccConfig4().channels, 4);
+    EXPECT_EQ(arccConfig8().channels, 8);
+}
+
+TEST(MemoryConfigChannelsDeathTest, IndivisibleRowSplitIsFatal)
+{
+    // 2 pages/row = 128 lines cannot interleave over 3 channels.
+    EXPECT_EXIT(withChannels(arccConfig(), 3),
+                ::testing::ExitedWithCode(1), "split over");
+    EXPECT_EXIT(withChannels(arccConfig(), 0),
+                ::testing::ExitedWithCode(1), ">= 1 channel");
+}
+
 TEST(ChannelSet, MatchesMemorySystemRequestForRequest)
 {
     // The facade is now implemented on ChannelSet; drive a ChannelSet
