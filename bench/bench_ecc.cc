@@ -18,6 +18,7 @@
  * ARCC_BENCH_ECC_ITERS overrides the per-path iteration budget.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include "arcc/ecc_scheme.hh"
 #include "bench_common.hh"
 #include "common/rng.hh"
+#include "ecc/gf256_simd.hh"
 #include "ecc/lot_ecc.hh"
 #include "ecc/reed_solomon.hh"
 #include "ecc/rs_reference.hh"
@@ -189,6 +191,94 @@ benchCodec(const char *name, int n, int k)
                    c.mixBytes(word);
                }
            });
+
+    // --- batched syndrome screen + decode ----------------------------
+    // The fast pipeline runs the whole block through the SoA vector
+    // kernels (one computeSyndromesSoa / decodeSoa call per pass);
+    // the reference runs the same words one at a time -- the speedup
+    // the scrub sweep and accessBatch see.
+    {
+        constexpr int kLanes = RsWorkspace::kSoaLanes;
+        std::vector<std::uint8_t> block(
+            static_cast<std::size_t>(kLanes) * n);
+        for (int l = 0; l < kLanes; ++l) {
+            std::uint8_t *w =
+                block.data() + static_cast<std::size_t>(l) * n;
+            for (int i = 0; i < k; ++i)
+                w[i] = static_cast<std::uint8_t>(rng.below(256));
+            fast.encode(std::span<std::uint8_t>(
+                w, static_cast<std::size_t>(n)));
+        }
+        gfsimd::soaScatter(block.data(), n, n, kLanes, ws.soa.data(),
+                           kLanes);
+        const std::uint64_t batch_iters = budgetShare(kLanes);
+        const std::uint64_t batch_ref_iters = budgetShare(kLanes * 10);
+        RsLaneResult results[kLanes];
+
+        report(name, "fast", "syndrome_batch", batch_iters, n * kLanes,
+               [&](std::uint64_t it, Check &c) {
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       c.mix(fast.computeSyndromesSoa(
+                                 ws.soa.data(), kLanes, kLanes,
+                                 ws.syndSoa.data(), ws.soaFlags.data())
+                                 ? 1
+                                 : 0);
+                   }
+               });
+        report(name, "ref", "syndrome_batch", batch_ref_iters,
+               n * kLanes, [&](std::uint64_t it, Check &c) {
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       std::uint64_t any = 0;
+                       for (int l = 0; l < kLanes; ++l) {
+                           const std::uint8_t *w =
+                               block.data() +
+                               static_cast<std::size_t>(l) * n;
+                           any |= ref.syndromesZero(
+                                      std::span<const std::uint8_t>(
+                                          w,
+                                          static_cast<std::size_t>(n)))
+                                      ? 0
+                                      : 1;
+                       }
+                       c.mix(any);
+                   }
+               });
+
+        report(name, "fast", "decode_batch", batch_iters, n * kLanes,
+               [&](std::uint64_t it, Check &c) {
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       // One lane takes a hit; decodeSoa repairs it,
+                       // so the block re-enters clean every pass.
+                       ws.soa[static_cast<std::size_t>(5) * kLanes +
+                              9] ^= 0x7b;
+                       fast.decodeSoa(ws.soa.data(), kLanes, kLanes,
+                                      ws, -1, {}, results);
+                       c.mix(static_cast<std::uint64_t>(
+                           results[9].status));
+                   }
+               });
+        report(name, "ref", "decode_batch", batch_ref_iters, n * kLanes,
+               [&](std::uint64_t it, Check &c) {
+                   std::vector<std::uint8_t> w(
+                       static_cast<std::size_t>(n));
+                   for (std::uint64_t i = 0; i < it; ++i) {
+                       std::uint64_t status = 0;
+                       for (int l = 0; l < kLanes; ++l) {
+                           const std::uint8_t *src =
+                               block.data() +
+                               static_cast<std::size_t>(l) * n;
+                           std::copy(src, src + n, w.begin());
+                           if (l == 9)
+                               w[5] ^= 0x7b;
+                           const DecodeResult res = ref.decode(w);
+                           if (l == 9)
+                               status = static_cast<std::uint64_t>(
+                                   res.status);
+                       }
+                       c.mix(status);
+                   }
+               });
+    }
 
     // --- erasure + error decode (r >= 4 codecs) ----------------------
     if (n - k >= 4) {

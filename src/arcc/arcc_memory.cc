@@ -444,29 +444,146 @@ ArccMemory::accessBatch(std::span<const std::uint64_t> addrs,
                         std::vector<ReadResult> &results)
 {
     results.resize(addrs.size());
+    ws.groups.clear();
+    ws.addrGroup.resize(addrs.size());
 
-    // One-entry caches for the hot lookups a dense stream repeats:
-    // the page's mode and the decoded group.
+    // Pass 1: walk the stream, discover its distinct groups (the same
+    // consecutive-merge rule as the old one-entry decode cache, so
+    // the amortisation accounting is unchanged) and gather each one's
+    // slices once.  Decoding is deferred: gathering never writes, so
+    // nothing a later address reads can depend on an earlier group's
+    // decode.
     std::uint64_t cached_page = ~0ULL;
     PageMode mode = PageMode::Relaxed;
     std::uint64_t cached_base = ~0ULL;
-
     for (std::size_t i = 0; i < addrs.size(); ++i) {
         const std::uint64_t addr = addrs[i];
         ++stats.reads;
-        std::uint64_t page = pageOf(addr);
+        const std::uint64_t page = pageOf(addr);
         if (page != cached_page) {
             mode = pageTable_.mode(page);
             cached_page = page;
             cached_base = ~0ULL; // group size may have changed.
         }
-        std::uint64_t group = groupBytes(mode);
-        std::uint64_t base = addr & ~(group - 1);
+        const std::uint64_t group = groupBytes(mode);
+        const std::uint64_t base = addr & ~(group - 1);
         if (base != cached_base) {
-            readGroupInto(base, mode, stats, ws.line, ws.whole);
+            const std::size_t gi = ws.groups.size();
+            if (ws.groupSlices.size() <= gi) {
+                ws.groupSlices.emplace_back();
+                ws.groupWhole.emplace_back();
+            }
+            gatherGroupInto(base, mode, ws.groupSlices[gi]);
+            erasedInto(base, mode, ws.line.erased);
+            const bool slow = codecFor(mode).soaCodec() == nullptr ||
+                              !ws.line.erased.empty();
+            ws.groups.push_back({base, mode, slow});
             cached_base = base;
         }
-        extractLineInto(ws.whole, addr, base, results[i]);
+        ws.addrGroup[i] =
+            static_cast<std::uint32_t>(ws.groups.size() - 1);
+    }
+
+    // Pass 2: screen runs of groups through the SoA kernel; only the
+    // lanes it flags (plus LOT / erasure groups) pay a full decode.
+    screenStagedGroups(stats, ws);
+
+    // Pass 3: per-address line extraction from the decoded groups.
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const std::uint32_t gi = ws.addrGroup[i];
+        extractLineInto(ws.groupWhole[gi], addrs[i],
+                        ws.groups[gi].base, results[i]);
+    }
+}
+
+void
+ArccMemory::decodeStagedGroup(std::size_t g, MemoryStats &stats,
+                              MemoryWorkspace &ws)
+{
+    const MemoryWorkspace::StagedGroup &sg = ws.groups[g];
+    const LineCodec &codec = codecFor(sg.mode);
+    erasedInto(sg.base, sg.mode, ws.line.erased);
+    ReadResult &out = ws.groupWhole[g];
+    out.data.resize(codec.dataBytes());
+    codec.decodeInto(ws.groupSlices[g], out.data, ws.line.erased,
+                     ws.line, ws.line.dec);
+    out.status = ws.line.dec.status;
+    out.symbolsCorrected = ws.line.dec.symbolsCorrected;
+    stats.deviceReads += codec.devices();
+    if (ws.line.dec.status == DecodeStatus::Corrected)
+        stats.corrected += ws.line.dec.symbolsCorrected;
+    if (ws.line.dec.status == DecodeStatus::Detected)
+        ++stats.dues;
+}
+
+void
+ArccMemory::screenStagedGroups(MemoryStats &stats, MemoryWorkspace &ws)
+{
+    RsWorkspace &rws = ws.line.rs;
+    constexpr std::size_t kLanes = RsWorkspace::kSoaLanes;
+    std::size_t g = 0;
+    while (g < ws.groups.size()) {
+        if (ws.groups[g].slow) {
+            decodeStagedGroup(g, stats, ws);
+            ++g;
+            continue;
+        }
+        const PageMode mode = ws.groups[g].mode;
+        const LineCodec &codec = codecFor(mode);
+        const ReedSolomon &rs = *codec.soaCodec();
+        const int cw = codec.sliceBytes(); // codewords per group.
+        const int dev = codec.devices();
+
+        // Stage a run of consecutive same-mode groups into one SoA
+        // block.  A slice row is symbol d of the group's cw
+        // codewords, i.e. already transposed: staging is one row
+        // memcpy per device.
+        std::size_t h = g;
+        int lanes = 0;
+        while (h < ws.groups.size() && !ws.groups[h].slow &&
+               ws.groups[h].mode == mode &&
+               lanes + cw <= static_cast<int>(kLanes)) {
+            const DeviceSlices &sl = ws.groupSlices[h];
+            for (int d = 0; d < dev; ++d)
+                std::memcpy(&rws.soa[static_cast<std::size_t>(d) *
+                                         kLanes +
+                                     lanes],
+                            sl[d].data(), cw);
+            lanes += cw;
+            ++h;
+        }
+
+        rs.computeSyndromesSoa(rws.soa.data(), kLanes, lanes,
+                               rws.syndSoa.data(),
+                               rws.soaFlags.data());
+
+        int lane0 = 0;
+        for (std::size_t x = g; x < h; ++x, lane0 += cw) {
+            bool flagged = false;
+            for (int c = 0; c < cw; ++c)
+                flagged = flagged || rws.soaFlags[lane0 + c] != 0;
+            if (flagged) {
+                // Same full pipeline (and stats) the serial path
+                // runs; the screen cost is sunk but tiny.
+                decodeStagedGroup(x, stats, ws);
+                continue;
+            }
+            // Clean group -- the overwhelmingly common case: extract
+            // the data symbols straight from the gathered slices,
+            // exactly what decodeInto writes when every codeword is
+            // clean.
+            const DeviceSlices &sl = ws.groupSlices[x];
+            ReadResult &out = ws.groupWhole[x];
+            out.status = DecodeStatus::Clean;
+            out.symbolsCorrected = 0;
+            out.data.resize(codec.dataBytes());
+            const int k = rs.k();
+            for (int c = 0; c < cw; ++c)
+                for (int s = 0; s < k; ++s)
+                    out.data[c * k + s] = sl[s][c];
+            stats.deviceReads += dev;
+        }
+        g = h;
     }
 }
 

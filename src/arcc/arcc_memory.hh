@@ -134,8 +134,33 @@ struct ReadResult
 struct MemoryWorkspace
 {
     LineWorkspace line;
-    /** Whole-group decode staging for the batch read cache. */
+    /** Whole-group decode staging for the single-group read path. */
     ReadResult whole;
+
+    // ----- batch staging (ArccMemory::accessBatch) -------------------
+    //
+    // The batched read gathers every distinct group of the address
+    // stream up front, SoA-screens runs of them per pass (see
+    // accessBatch), and extracts lines at the end.  All capacity is
+    // reused across batches, so a steady-state sweep allocates
+    // nothing after its first page.
+
+    /** One gathered-but-not-yet-decoded ECC group. */
+    struct StagedGroup
+    {
+        std::uint64_t base;
+        PageMode mode;
+        /** Needs the scalar per-group decode (LOT wire format or
+         *  erased devices) instead of the SoA screen. */
+        bool slow;
+    };
+    std::vector<StagedGroup> groups;
+    /** Gathered slices per staged group (ring of reused buffers). */
+    std::vector<DeviceSlices> groupSlices;
+    /** Decoded whole-group results, parallel to `groups`. */
+    std::vector<ReadResult> groupWhole;
+    /** Staged-group index serving each batch address. */
+    std::vector<std::uint32_t> addrGroup;
 };
 
 /** Counters exposed for tests and examples. */
@@ -349,6 +374,14 @@ class ArccMemory
     void readGroupInto(std::uint64_t group_base, PageMode mode,
                        MemoryStats &stats, LineWorkspace &ws,
                        ReadResult &out);
+
+    /** Pass 2 of accessBatch: SoA-screen runs of staged groups at
+     *  the active SIMD tier, decode flagged / slow ones. */
+    void screenStagedGroups(MemoryStats &stats, MemoryWorkspace &ws);
+
+    /** Full scalar decode of staged group g (stats as readGroupInto). */
+    void decodeStagedGroup(std::size_t g, MemoryStats &stats,
+                           MemoryWorkspace &ws);
 
     /** Slice one 64B line out of a decoded group's result. */
     static ReadResult extractLine(const ReadResult &whole,

@@ -113,6 +113,21 @@ class LineCodec
                             LineWorkspace &ws,
                             DecodeResult &out) const = 0;
 
+    /**
+     * The RS codec behind this line format, or nullptr when the wire
+     * format is not SoA-batchable (LOT-ECC's checksum+XOR lines).
+     * When non-null, the per-device slice rows double as SoA symbol
+     * rows -- slices[d][c] is symbol d of codeword c -- so a batch
+     * reader can stage whole groups into an RsWorkspace SoA block
+     * with row memcpys and screen them through
+     * ReedSolomon::computeSyndromesSoa (see ArccMemory::accessBatch).
+     */
+    virtual const ReedSolomon *soaCodec() const { return nullptr; }
+
+    /** The per-codeword error cap decodeInto applies (mirrors what a
+     *  batched decode must pass for bit-identical outcomes). */
+    virtual int soaMaxCorrect() const { return -1; }
+
     /** Human-readable description. */
     virtual const char *name() const = 0;
 };
@@ -145,6 +160,8 @@ class RsLineCodec : public LineCodec
     void decodeInto(DeviceSlices &slices, std::span<std::uint8_t> data,
                     std::span<const int> erased, LineWorkspace &ws,
                     DecodeResult &out) const override;
+    const ReedSolomon *soaCodec() const override { return &rs_; }
+    int soaMaxCorrect() const override { return maxCorrect_; }
     const char *name() const override { return name_; }
 
     int maxCorrect() const { return maxCorrect_; }

@@ -105,7 +105,10 @@ class Scrubber
      * Each shard owns a fixed, thread-count-independent range of
      * pages and runs the per-line read / write-0 / write-1 / restore
      * loop through ArccMemory::accessBatch(), which amortises the
-     * page-table lookup and the group decode across the page.  Shards
+     * page-table lookup across the page and screens the page's groups
+     * through the SIMD SoA syndrome kernel (see ecc/gf256_simd.hh) --
+     * a scrub sweep is the naturally-batched caller the
+     * codeword-transposed layout exists for.  Shards
      * touch disjoint pages -- hence disjoint device bytes -- and
      * accumulate their counters into private ScrubReport /
      * MemoryStats partials, so the sweep is race-free; the partials

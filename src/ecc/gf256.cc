@@ -17,6 +17,8 @@ struct Tables
     std::array<std::uint8_t, 256> log{};
     /** Full product table, mul[a * 256 + b] = a * b.  64 KiB. */
     std::array<std::uint8_t, 256 * 256> mul{};
+    /** Nibble-split shuffle tables, row a = {a*i} ++ {a*(i<<4)}. */
+    std::array<std::uint8_t, 256 * GF256::kNibRowBytes> nib{};
 
     Tables()
     {
@@ -44,6 +46,21 @@ struct Tables
                 if (s >= GF256::kGroupOrder)
                     s -= GF256::kGroupOrder;
                 row[b] = exp[s];
+            }
+        }
+
+        // Nibble-split rows straight from the product table: the two
+        // 16-entry halves reconstruct any product by distributivity,
+        // a*x = a*(x & 0xf) ^ a*(x & 0xf0).
+        for (int a = 0; a < 256; ++a) {
+            const std::uint8_t *mrow = mul.data() +
+                                       static_cast<std::size_t>(a) * 256;
+            std::uint8_t *nrow = nib.data() +
+                                 static_cast<std::size_t>(a) *
+                                     GF256::kNibRowBytes;
+            for (int i = 0; i < 16; ++i) {
+                nrow[i] = mrow[i];
+                nrow[16 + i] = mrow[i << 4];
             }
         }
     }
@@ -74,6 +91,12 @@ const std::uint8_t *
 GF256::mulTable()
 {
     return tables().mul.data();
+}
+
+const std::uint8_t *
+GF256::nibTable()
+{
+    return tables().nib.data();
 }
 
 } // namespace arcc

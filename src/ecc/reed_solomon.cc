@@ -37,6 +37,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "ecc/gf256_simd.hh"
 
 namespace arcc
 {
@@ -147,12 +148,16 @@ ReedSolomon::ReedSolomon(int n, int k)
     for (int j = 0; j < rr; ++j)
         genHigh_[j] = gen_[rr - 1 - j];
 
-    // One product-table row per syndrome root alpha^j.
+    // One product-table row per syndrome root alpha^j, plus the roots
+    // themselves for the SoA shuffle kernel.
     syndRows_.resize(rr);
-    for (int j = 0; j < rr; ++j)
+    syndRoots_.resize(rr);
+    for (int j = 0; j < rr; ++j) {
+        syndRoots_[j] = GF256::alphaPow(j);
         syndRows_[j] = GF256::mulTable() +
-                       static_cast<std::size_t>(GF256::alphaPow(j)) *
+                       static_cast<std::size_t>(syndRoots_[j]) *
                            GF256::kOrder;
+    }
 
     // Locators X_i = alpha^(n-1-i) and their inverses, per position.
     xAt_.resize(n_);
@@ -168,10 +173,20 @@ ReedSolomon::ReedSolomon(int n, int k)
     // psi_j * alpha^(-j(n-1)) and multiplies by alpha^j per position.
     // deg(Psi) <= r < kOrder bounds the table size.
     chienInit_.resize(GF256::kOrder);
-    chienStep_.resize(GF256::kOrder);
-    for (int j = 0; j < GF256::kOrder; ++j) {
+    for (int j = 0; j < GF256::kOrder; ++j)
         chienInit_[j] = GF256::alphaPow(-(j * (n_ - 1)));
-        chienStep_[j] = GF256::alphaPow(j);
+
+    // Vector Chien tables: scanning 16 positions per shuffle block,
+    // term j spreads across a block with alpha^(j*l) and advances
+    // between blocks by alpha^(16j).  Lane 1 of each row is the plain
+    // per-position step, which the scalar tier of chienScan reuses.
+    chienLane_.resize(GF256::kOrder * gfsimd::kLaneBlock);
+    chienStep16_.resize(GF256::kOrder);
+    for (int j = 0; j < GF256::kOrder; ++j) {
+        for (int l = 0; l < gfsimd::kLaneBlock; ++l)
+            chienLane_[j * gfsimd::kLaneBlock + l] =
+                GF256::alphaPow(j * l);
+        chienStep16_[j] = GF256::alphaPow(gfsimd::kLaneBlock * j);
     }
 }
 
@@ -381,24 +396,16 @@ ReedSolomon::decodeCore(std::span<std::uint8_t> codeword,
     const int psi_deg =
         gfpoly::degree(std::span<const std::uint8_t>(psi, psi_len));
 
-    // Incremental Chien search, ascending array positions: term j
-    // carries psi_j * x^j at the current evaluation point and steps
-    // by alpha^j per position.  A polynomial with psi[0] == 1 has at
-    // most psi_deg roots, so stop as soon as they are all found.
-    int found = 0;
+    // Chien search, ascending array positions: term j starts at
+    // psi_j * alpha^(-j(n-1)) and the dispatched kernel evaluates 16
+    // positions per shuffle block (or steps one at a time on the
+    // scalar tier).  A polynomial with psi[0] == 1 has at most
+    // psi_deg roots, so the scan stops as soon as they are all found.
     for (std::size_t j = 0; j < psi_len; ++j)
         ws.terms[j] = GF256::mul(psi[j], chienInit_[j]);
-    for (int i = 0; i < n_; ++i) {
-        std::uint8_t v = 0;
-        for (std::size_t j = 0; j < psi_len; ++j)
-            v ^= ws.terms[j];
-        if (v == 0)
-            ws.errPos[found++] = i;
-        if (found == psi_deg || i + 1 == n_)
-            break;
-        for (std::size_t j = 1; j < psi_len; ++j)
-            ws.terms[j] = GF256::mul(ws.terms[j], chienStep_[j]);
-    }
+    const int found = gfsimd::chienScan(
+        ws.terms.data(), static_cast<int>(psi_len), n_, psi_deg,
+        chienLane_.data(), chienStep16_.data(), ws.errPos.data());
     if (found != psi_deg) {
         res.status = DecodeStatus::Detected;
         return res;
@@ -502,6 +509,70 @@ ReedSolomon::decode(std::span<std::uint8_t> codeword, RsWorkspace &ws,
     if (!computeSyndromes(codeword, synd))
         return {};
     return decodeCore(codeword, synd, ws, maxCorrect, erasures);
+}
+
+bool
+ReedSolomon::computeSyndromesSoa(const std::uint8_t *soa,
+                                 std::size_t stride, int lanes,
+                                 std::uint8_t *synd_soa,
+                                 std::uint8_t *flags) const
+{
+    ARCC_ASSERT(lanes > 0 &&
+                lanes <= static_cast<int>(stride));
+    gfsimd::syndromeSoa(soa, stride, n_, lanes, syndRoots_.data(), r(),
+                        synd_soa, flags);
+    for (int l = 0; l < lanes; ++l)
+        if (flags[l] != 0)
+            return true;
+    return false;
+}
+
+void
+ReedSolomon::decodeSoa(std::uint8_t *soa, std::size_t stride, int lanes,
+                       RsWorkspace &ws, int maxCorrect,
+                       std::span<const int> erasures,
+                       RsLaneResult *results) const
+{
+    ARCC_ASSERT(lanes <= RsWorkspace::kSoaLanes &&
+                stride <= static_cast<std::size_t>(
+                              RsWorkspace::kSoaLanes));
+    if (results) {
+        for (int l = 0; l < lanes; ++l)
+            results[l] = RsLaneResult{};
+    }
+    if (!computeSyndromesSoa(soa, stride, lanes, ws.syndSoa.data(),
+                             ws.soaFlags.data()))
+        return;
+
+    // Flagged lanes fall back to the scalar pipeline one column at a
+    // time, reusing the syndromes the screen already computed -- the
+    // zero-syndrome early-out of decode() is exactly the flags test,
+    // so each lane's outcome is bit-identical to decode() on its
+    // word (erasures included: a clean screen returns Clean without
+    // consulting them, as decode() does).
+    const int rr = r();
+    const std::span<std::uint8_t> word(
+        ws.word.data(), static_cast<std::size_t>(n_));
+    for (int l = 0; l < lanes; ++l) {
+        if (ws.soaFlags[l] == 0)
+            continue;
+        for (int i = 0; i < n_; ++i)
+            word[i] = soa[static_cast<std::size_t>(i) * stride + l];
+        for (int j = 0; j < rr; ++j)
+            ws.synd[j] =
+                ws.syndSoa[static_cast<std::size_t>(j) * stride + l];
+        const RsDecodeView v = decodeCore(
+            word,
+            std::span<const std::uint8_t>(
+                ws.synd.data(), static_cast<std::size_t>(rr)),
+            ws, maxCorrect, erasures);
+        for (int p : v.positions)
+            soa[static_cast<std::size_t>(p) * stride + l] = word[p];
+        if (results) {
+            results[l].status = v.status;
+            results[l].symbolsCorrected = v.symbolsCorrected;
+        }
+    }
 }
 
 namespace

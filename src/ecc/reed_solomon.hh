@@ -69,6 +69,18 @@ struct DecodeResult
 };
 
 /**
+ * Per-lane outcome of a batched SoA decode (ReedSolomon::decodeSoa).
+ * Plain values only -- changed positions stay in the SoA block.
+ */
+struct RsLaneResult
+{
+    DecodeStatus status = DecodeStatus::Clean;
+    int symbolsCorrected = 0;
+
+    bool ok() const { return status != DecodeStatus::Detected; }
+};
+
+/**
  * Non-owning decode result of the allocation-free fast path.
  * `positions` aliases the workspace the decode ran in, so it is valid
  * until that workspace's next decode.  Copy it out if you need it
@@ -127,6 +139,43 @@ class ReedSolomon
      */
     bool computeSyndromes(std::span<const std::uint8_t> codeword,
                           std::span<std::uint8_t> synd) const;
+
+    /**
+     * Batched syndrome screen over a codeword-transposed (SoA) block:
+     * lane l's word is soa[i * stride + l] for i in [0, n).  Computes
+     * all r() syndromes of every lane into synd_soa (same transposed
+     * layout, r() rows) and ORs each lane's syndromes into flags[l].
+     * Runs at the active SIMD tier; bit-identical per lane to
+     * computeSyndromes().  Allocation-free.
+     *
+     * @pre stride is a multiple of 16 and >= lanes rounded up to 16;
+     *      entries in [lanes, roundUp16(lanes)) of every synd_soa row
+     *      and of flags are clobbered (see ecc/gf256_simd.hh).
+     * @return true if any lane in [0, lanes) flagged.
+     */
+    bool computeSyndromesSoa(const std::uint8_t *soa, std::size_t stride,
+                             int lanes, std::uint8_t *synd_soa,
+                             std::uint8_t *flags) const;
+
+    /**
+     * Batched decode of an SoA block, in place: the vector syndrome
+     * screen above, then the full decode pipeline for just the lanes
+     * it flagged (gathered one column at a time, syndromes reused).
+     * Lane l's outcome is bit-identical to decode() on that word --
+     * same status, same corrected symbols -- with corrections written
+     * back into the block.  `erasures` applies to every lane (the
+     * callers batch codewords that share a device group, so a spared
+     * device erases the same position in each).  Screen scratch comes
+     * from ws.syndSoa / ws.soaFlags; the block itself is the
+     * caller's (usually ws.soa).  Allocation-free.
+     *
+     * @param results one RsLaneResult per lane, or nullptr when only
+     *                the corrected block is wanted.
+     */
+    void decodeSoa(std::uint8_t *soa, std::size_t stride, int lanes,
+                   RsWorkspace &ws, int maxCorrect = -1,
+                   std::span<const int> erasures = {},
+                   RsLaneResult *results = nullptr) const;
 
     /**
      * Decode in place through a workspace: the allocation-free fast
@@ -207,17 +256,23 @@ class ReedSolomon
     std::vector<std::uint8_t> genHigh_;
     /** Syndrome Horner multiplier rows: row j scales by alpha^j. */
     std::vector<const std::uint8_t *> syndRows_;
+    /** The syndrome roots alpha^j themselves (SoA kernel input). */
+    std::vector<std::uint8_t> syndRoots_;
     /** Locator tables: xAt_[i] = alpha^(n-1-i), xInvAt_[i] its
      *  inverse -- the locator of an error at array index i and the
      *  Chien root that reveals it. */
     std::vector<std::uint8_t> xAt_;
     std::vector<std::uint8_t> xInvAt_;
-    /** Incremental Chien tables: scanning array positions in
-     *  ascending order steps the evaluation point by alpha, so term j
-     *  starts at psi_j * chienInit_[j] and multiplies by
-     *  chienStep_[j] = alpha^j each position. */
+    /** Chien start tables: scanning array positions in ascending
+     *  order puts the evaluation point at alpha^-(n-1-i), so term j
+     *  starts at psi_j * chienInit_[j] = psi_j * alpha^(-j(n-1)). */
     std::vector<std::uint8_t> chienInit_;
-    std::vector<std::uint8_t> chienStep_;
+    /** Chien step tables (see gfsimd::chienScan): per term j, the 16
+     *  within-block factors alpha^(j*l) (lane 1 doubles as the scalar
+     *  tier's per-position step alpha^j) ... */
+    std::vector<std::uint8_t> chienLane_;
+    /** ... and the block-advance factors alpha^(16j). */
+    std::vector<std::uint8_t> chienStep16_;
 };
 
 /** Polynomial helpers shared with tests (coefficients low-to-high). */

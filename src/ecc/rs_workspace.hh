@@ -52,6 +52,15 @@ struct RsWorkspace
      * buffers leave ample headroom over kMaxChecks.
      */
     static constexpr int kPolyCap = 1024;
+    /**
+     * Lanes of the codeword-transposed (SoA) batch buffers: how many
+     * codewords one ReedSolomon::decodeSoa call screens per pass.
+     * A multiple of 16 (the SIMD shuffle width, see ecc/gf256_simd.hh)
+     * sized to swallow the widest natural batch in one block -- eight
+     * relaxed RS(18,16) groups of 4 codewords, a full VECC chunk, or
+     * two upgraded groups.
+     */
+    static constexpr int kSoaLanes = 32;
 
     /** Syndrome sequence (decode) / remainder (encode). */
     std::array<std::uint8_t, kMaxChecks> synd;
@@ -84,6 +93,20 @@ struct RsWorkspace
 
     /** Codeword staging for line codecs (one symbol per device). */
     std::array<std::uint8_t, kMaxSymbols> word;
+
+    // ----- SoA batch staging (ReedSolomon::decodeSoa) ----------------
+    //
+    // The transposed block soa[symbol * kSoaLanes + lane] plus its
+    // per-lane syndrome rows and screen flags.  ~10 KiB on top of the
+    // scalar arena; one workspace still serves both paths.
+
+    /** Codeword-transposed batch: symbol i of lane l at
+     *  soa[i * kSoaLanes + l]. */
+    std::array<std::uint8_t, kMaxSymbols * kSoaLanes> soa;
+    /** Per-lane syndromes, same transposed layout. */
+    std::array<std::uint8_t, kMaxChecks * kSoaLanes> syndSoa;
+    /** Per-lane screen flags (non-zero = lane needs a full decode). */
+    std::array<std::uint8_t, kSoaLanes> soaFlags;
 };
 
 } // namespace arcc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SIMD dispatch tiers for the GF(2^8) kernels.
+ *
+ * The vector kernels in ecc/gf256_simd.hh are compiled per ISA
+ * extension with function-level target attributes (so the baseline
+ * build stays runnable on any x86-64) and selected once at runtime:
+ *
+ *  - **Avx2**:  32-lane nibble shuffles via vpshufb.
+ *  - **Ssse3**: 16-lane nibble shuffles via pshufb (the portable x86
+ *               floor; every x86-64 part since ~2006 has it).
+ *  - **Neon**:  16-lane shuffles via tbl on aarch64 (baseline there).
+ *  - **Scalar**: the table-driven loops of ecc/reed_solomon.cc --
+ *               the *pinned oracle*.  Every vector kernel is required
+ *               to be bit-identical to it (and the scalar pipeline is
+ *               in turn fuzzed against RsReference), so "fast" and
+ *               "correct" stay the same artifact.
+ *
+ * Two override knobs force the scalar path:
+ *
+ *  - `-DARCC_SIMD=OFF` at configure time defines ARCC_SIMD_DISABLED
+ *    and compiles the vector kernels out entirely (the CI scalar leg);
+ *  - the `ARCC_SIMD` environment variable caps the tier at runtime
+ *    without a rebuild: `off` / `scalar` / `0` force scalar, `ssse3`
+ *    caps an AVX2 machine at 16 lanes, `avx2` / `neon` / unset /
+ *    anything else keep the detected tier.  bench-smoke uses this to
+ *    diff the two paths' `check` hashes from one binary.
+ */
+
+#ifndef ARCC_ECC_SIMD_HH
+#define ARCC_ECC_SIMD_HH
+
+namespace arcc
+{
+namespace simd
+{
+
+/** Instruction-set tier a kernel runs at, best first. */
+enum class Tier
+{
+    Scalar,
+    Ssse3,
+    Avx2,
+    Neon,
+};
+
+/** Display name ("scalar", "ssse3", "avx2", "neon"). */
+const char *tierName(Tier t);
+
+/**
+ * The best tier this binary + CPU supports, ignoring the environment
+ * override.  Compile-time gates (ARCC_SIMD_DISABLED, target ISA)
+ * apply; the result never names an unsupported path.
+ */
+Tier detectTier();
+
+/**
+ * The tier the dispatched kernels actually use: detectTier() capped
+ * by the ARCC_SIMD environment variable.  Resolved once on first use
+ * and cached for the process lifetime.
+ */
+Tier activeTier();
+
+} // namespace simd
+} // namespace arcc
+
+#endif // ARCC_ECC_SIMD_HH

@@ -21,6 +21,7 @@
 #include <filesystem>
 #include <fstream>
 #include <new>
+#include <span>
 #include <unistd.h>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "arcc/vecc.hh"
 #include "common/rng.hh"
 #include "cpu/trace.hh"
+#include "ecc/gf256_simd.hh"
 #include "ecc/reed_solomon.hh"
 
 namespace
@@ -151,6 +153,63 @@ TEST(AllocFree, RsEncodeSyndromeAndDecodeLoops)
     EXPECT_TRUE(ok);
     EXPECT_EQ(allocs, 0u)
         << "the RS workspace paths must not touch the heap";
+}
+
+TEST(AllocFree, SoaBatchDecodeSteadyState)
+{
+    // The SoA staging buffers live inside RsWorkspace precisely so
+    // the batched screen + decode never touches the heap: stage a
+    // full block of lanes, corrupt a few, decode, repeat.
+    ReedSolomon rs(36, 32);
+    RsWorkspace ws;
+    Rng rng(5);
+
+    constexpr int kLanes = RsWorkspace::kSoaLanes;
+    std::vector<std::uint8_t> words(
+        static_cast<std::size_t>(kLanes) * 36);
+    for (int l = 0; l < kLanes; ++l) {
+        std::uint8_t *w = words.data() +
+                          static_cast<std::size_t>(l) * 36;
+        for (int i = 0; i < 32; ++i)
+            w[i] = static_cast<std::uint8_t>(rng.below(256));
+        rs.encode(std::span<std::uint8_t>(w, 36));
+    }
+
+    RsLaneResult results[kLanes];
+    bool ok = true;
+    const std::uint64_t allocs = allocationsIn([&] {
+        for (int t = 0; t < 200; ++t) {
+            gfsimd::soaScatter(words.data(), 36, 36, kLanes,
+                               ws.soa.data(), kLanes);
+            // Lanes 3 and 17 take correctable hits; the rest screen
+            // clean through the vector syndrome pass.
+            ws.soa[static_cast<std::size_t>(9) * kLanes + 3] ^= 0x5a;
+            ws.soa[static_cast<std::size_t>(30) * kLanes + 17] ^= 0x01;
+            ws.soa[static_cast<std::size_t>(2) * kLanes + 17] ^= 0xc3;
+            rs.decodeSoa(ws.soa.data(), kLanes, kLanes, ws, -1, {},
+                         results);
+            for (int l = 0; l < kLanes; ++l) {
+                const RsLaneResult &r = results[l];
+                ok = ok &&
+                     r.status == (l == 3 || l == 17
+                                      ? DecodeStatus::Corrected
+                                      : DecodeStatus::Clean) &&
+                     r.symbolsCorrected == (l == 3 ? 1
+                                            : l == 17 ? 2
+                                                      : 0);
+                const std::uint8_t *w =
+                    words.data() + static_cast<std::size_t>(l) * 36;
+                for (int s = 0; s < 36; ++s)
+                    ok = ok &&
+                         ws.soa[static_cast<std::size_t>(s) * kLanes +
+                                l] == w[s];
+            }
+        }
+    });
+
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(allocs, 0u)
+        << "the SoA batch decode must not touch the heap";
 }
 
 TEST(AllocFree, ScrubStyleBatchSweepSteadyState)

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the SIMD GF(2^8) kernel layer (ecc/gf256_simd.hh).
+ *
+ * The dispatch contract under test: every vector kernel is
+ * bit-identical to its scalar tier, which in turn is the same
+ * arithmetic as the product-table loops the oracle fuzz pins against
+ * RsReference.  Running the scalar and the active tier side by side
+ * in one process checks the vector half of that chain directly; the
+ * CI scalar-forced build (-DARCC_SIMD=OFF) re-runs this whole binary
+ * with the vector bodies compiled out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ecc/gf256.hh"
+#include "ecc/gf256_simd.hh"
+#include "ecc/reed_solomon.hh"
+#include "ecc/simd.hh"
+
+namespace arcc
+{
+namespace
+{
+
+TEST(Gf256Simd, NibbleTableReconstructsEveryProduct)
+{
+    // a * x == nibRow(a)[x & 0xf] ^ nibRow(a)[16 + (x >> 4)] for the
+    // full 256 x 256 product space.
+    for (int a = 0; a < 256; ++a) {
+        const std::uint8_t *row = GF256::nibRow(
+            static_cast<std::uint8_t>(a));
+        for (int x = 0; x < 256; ++x) {
+            const std::uint8_t lo = row[x & 0x0f];
+            const std::uint8_t hi = row[16 + (x >> 4)];
+            ASSERT_EQ(lo ^ hi,
+                      GF256::mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(x)))
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(Gf256Simd, TierDispatchIsSane)
+{
+    const simd::Tier det = simd::detectTier();
+    const simd::Tier act = simd::activeTier();
+    EXPECT_NE(std::string(simd::tierName(det)), "?");
+    EXPECT_NE(std::string(simd::tierName(act)), "?");
+#if defined(ARCC_SIMD_DISABLED)
+    EXPECT_EQ(det, simd::Tier::Scalar);
+    EXPECT_EQ(act, simd::Tier::Scalar);
+#endif
+    // The env cap can only lower the tier, never raise it past the
+    // hardware.
+    if (det == simd::Tier::Scalar) {
+        EXPECT_EQ(act, simd::Tier::Scalar);
+    }
+}
+
+TEST(Gf256Simd, MulConstMatchesScalarTierForAllLengths)
+{
+    Rng rng(0x51dc0de);
+    const simd::Tier act = simd::activeTier();
+    std::vector<std::uint8_t> in(257), out_s(257), out_v(257);
+    for (int len = 0; len <= 257; len += (len < 40 ? 1 : 7)) {
+        for (int t = 0; t < 8; ++t) {
+            const std::uint8_t a =
+                static_cast<std::uint8_t>(rng.below(256));
+            for (int i = 0; i < len; ++i)
+                in[i] = static_cast<std::uint8_t>(rng.below(256));
+            gfsimd::mulConstAt(simd::Tier::Scalar, a, in.data(),
+                               out_s.data(), len);
+            gfsimd::mulConstAt(act, a, in.data(), out_v.data(), len);
+            for (int i = 0; i < len; ++i) {
+                ASSERT_EQ(out_s[i], GF256::mul(a, in[i]));
+                ASSERT_EQ(out_v[i], out_s[i])
+                    << "len=" << len << " i=" << i << " a=" << int(a);
+            }
+        }
+    }
+}
+
+TEST(Gf256Simd, MulConstWorksInPlace)
+{
+    Rng rng(0x1717);
+    std::vector<std::uint8_t> buf(100), expect(100);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<std::uint8_t>(rng.below(256));
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        expect[i] = GF256::mul(0x3b, buf[i]);
+    gfsimd::mulConst(0x3b, buf.data(), buf.data(), buf.size());
+    EXPECT_EQ(buf, expect);
+}
+
+TEST(Gf256Simd, SyndromeSoaMatchesPerWordSyndromesBothTiers)
+{
+    // Every lane of the SoA kernel must reproduce computeSyndromes on
+    // the gathered word, on both the scalar and the active tier, for
+    // every codec shape and a partial last block.
+    const simd::Tier act = simd::activeTier();
+    constexpr int kStride = RsWorkspace::kSoaLanes;
+    struct Shape { int n, k; };
+    for (const Shape shape : {Shape{18, 16}, Shape{36, 32},
+                              Shape{72, 64}}) {
+        ReedSolomon rs(shape.n, shape.k);
+        const int rr = rs.r();
+        Rng rng(0xba7c4 + shape.n);
+
+        for (int lanes : {1, 5, 16, 17, 32}) {
+            std::vector<std::uint8_t> soa(
+                static_cast<std::size_t>(shape.n) * kStride);
+            for (auto &b : soa)
+                b = static_cast<std::uint8_t>(rng.below(256));
+
+            std::vector<std::uint8_t> synd_s(
+                static_cast<std::size_t>(rr) * kStride);
+            std::vector<std::uint8_t> synd_v = synd_s;
+            std::vector<std::uint8_t> flags_s(kStride), flags_v(kStride);
+
+            std::vector<std::uint8_t> roots(rr);
+            for (int j = 0; j < rr; ++j)
+                roots[j] = GF256::alphaPow(j);
+            gfsimd::syndromeSoaAt(simd::Tier::Scalar, soa.data(),
+                                  kStride, shape.n, lanes, roots.data(),
+                                  rr, synd_s.data(), flags_s.data());
+            gfsimd::syndromeSoaAt(act, soa.data(), kStride, shape.n,
+                                  lanes, roots.data(), rr,
+                                  synd_v.data(), flags_v.data());
+
+            std::vector<std::uint8_t> word(shape.n), synd(rr);
+            for (int l = 0; l < lanes; ++l) {
+                for (int i = 0; i < shape.n; ++i)
+                    word[i] = soa[static_cast<std::size_t>(i) *
+                                      kStride +
+                                  l];
+                rs.computeSyndromes(word, synd);
+                std::uint8_t any = 0;
+                for (int j = 0; j < rr; ++j) {
+                    ASSERT_EQ(synd_s[static_cast<std::size_t>(j) *
+                                         kStride +
+                                     l],
+                              synd[j])
+                        << "scalar lane " << l << " synd " << j;
+                    ASSERT_EQ(synd_v[static_cast<std::size_t>(j) *
+                                         kStride +
+                                     l],
+                              synd[j])
+                        << "vector lane " << l << " synd " << j;
+                    any |= synd[j];
+                }
+                ASSERT_EQ(flags_s[l] != 0, any != 0);
+                ASSERT_EQ(flags_v[l] != 0, any != 0);
+            }
+        }
+    }
+}
+
+TEST(Gf256Simd, ChienScanMatchesScalarTierAndFindsTrueRoots)
+{
+    // Random locator polynomials with psi[0] = 1 (the decodeCore
+    // shape): both tiers must report the same ascending positions,
+    // each of which must be a genuine root of psi at the position's
+    // evaluation point alpha^-(n-1-i).
+    const simd::Tier act = simd::activeTier();
+    Rng rng(0xc41e);
+    for (int n : {18, 36, 72, 255}) {
+        // Per-term lane/block step tables, as ReedSolomon builds them.
+        std::vector<std::uint8_t> lane_step(
+            static_cast<std::size_t>(256) * gfsimd::kLaneBlock);
+        std::vector<std::uint8_t> block_step(256);
+        for (int j = 0; j < 256; ++j) {
+            for (int l = 0; l < gfsimd::kLaneBlock; ++l)
+                lane_step[j * gfsimd::kLaneBlock + l] =
+                    GF256::alphaPow(j * l);
+            block_step[j] = GF256::alphaPow(gfsimd::kLaneBlock * j);
+        }
+
+        for (int it = 0; it < 300; ++it) {
+            const int deg = static_cast<int>(rng.below(9));
+            std::vector<std::uint8_t> psi(deg + 1);
+            psi[0] = 1;
+            for (int j = 1; j <= deg; ++j)
+                psi[j] = static_cast<std::uint8_t>(rng.below(256));
+            if (deg > 0 && psi[deg] == 0)
+                psi[deg] = 1;
+
+            std::vector<std::uint8_t> terms0(deg + 1);
+            for (int j = 0; j <= deg; ++j)
+                terms0[j] = GF256::mul(psi[j],
+                                       GF256::alphaPow(-(j * (n - 1))));
+
+            int pos_s[256], pos_v[256];
+            const int found_s = gfsimd::chienScanAt(
+                simd::Tier::Scalar, terms0.data(), deg + 1, n, deg,
+                lane_step.data(), block_step.data(), pos_s);
+            const int found_v = gfsimd::chienScanAt(
+                act, terms0.data(), deg + 1, n, deg,
+                lane_step.data(), block_step.data(), pos_v);
+
+            ASSERT_EQ(found_s, found_v) << "n=" << n << " it=" << it;
+            for (int i = 0; i < found_s; ++i) {
+                ASSERT_EQ(pos_s[i], pos_v[i])
+                    << "n=" << n << " it=" << it << " root " << i;
+                if (i > 0) {
+                    ASSERT_LT(pos_s[i - 1], pos_s[i]);
+                }
+                const std::uint8_t x =
+                    GF256::alphaPow(-(n - 1 - pos_s[i]));
+                ASSERT_EQ(gfpoly::eval(psi, x), 0)
+                    << "reported non-root at " << pos_s[i];
+            }
+        }
+    }
+}
+
+TEST(Gf256Simd, SoaScatterGatherAreInverses)
+{
+    Rng rng(0x50a);
+    const int symbols = 36, lanes = 32;
+    std::vector<std::uint8_t> words(
+        static_cast<std::size_t>(lanes) * symbols);
+    for (auto &b : words)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    std::vector<std::uint8_t> soa(
+        static_cast<std::size_t>(symbols) * RsWorkspace::kSoaLanes);
+    gfsimd::soaScatter(words.data(), symbols, symbols, lanes,
+                       soa.data(), RsWorkspace::kSoaLanes);
+    // Spot the transposed identity, then invert.
+    EXPECT_EQ(soa[5 * RsWorkspace::kSoaLanes + 7],
+              words[7 * symbols + 5]);
+    std::vector<std::uint8_t> back(words.size());
+    gfsimd::soaGather(soa.data(), RsWorkspace::kSoaLanes, symbols,
+                      lanes, back.data(), symbols);
+    EXPECT_EQ(back, words);
+}
+
+} // namespace
+} // namespace arcc
