@@ -25,10 +25,13 @@
 #define ARCC_ARCC_ECC_SCHEME_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "ecc/bch.hh"
 #include "ecc/lot_ecc.hh"
 #include "ecc/reed_solomon.hh"
 #include "ecc/rs_workspace.hh"
@@ -49,6 +52,10 @@ using DeviceSlices = std::vector<std::vector<std::uint8_t>>;
 struct LineWorkspace
 {
     RsWorkspace rs;
+    /** BCH decoder scratch (codec-zoo bit-granularity codecs). */
+    BchWorkspace bch;
+    /** Serialized-codeword staging for the wire-format codecs. */
+    std::vector<std::uint8_t> wire;
     /** Gathered per-device slices (storage reused across groups). */
     DeviceSlices slices;
     /** LOT-ECC line staging. */
@@ -67,12 +74,44 @@ struct LineWorkspace
 };
 
 /**
+ * Self-description of a line codec: the granularity it corrects at
+ * and its guaranteed per-codeword capability.  The fault-injection
+ * matrix (faults/fault_matrix.hh) sizes its error axis and picks its
+ * flip granularity from these, so a codec registered in the zoo is
+ * automatically swept without campaign-side special cases.
+ */
+struct CodecTraits
+{
+    /**
+     * Correction granularity in bits: 8 for symbol-oriented codecs
+     * (RS, LOT-ECC -- one flipped wire byte is one symbol error),
+     * 1 for bit-oriented codecs (BCH, SECDED).
+     */
+    int symbolBits = 8;
+    /** Guaranteed correctable symbols per codeword. */
+    int correct = 1;
+    /**
+     * Additional symbols guaranteed *detected* beyond `correct`
+     * (errors of weight correct + detect never silently corrupt a
+     * single codeword; more may miscorrect).
+     */
+    int detect = 1;
+    /** Codewords per line. */
+    int codewords = 1;
+    /** Family tag for reporting: "rs", "lot", "bch", "secded". */
+    const char *family = "rs";
+};
+
+/**
  * Abstract line codec: data line <-> per-device slices.
  */
 class LineCodec
 {
   public:
     virtual ~LineCodec() = default;
+
+    /** Self-description (granularity and capability). */
+    virtual CodecTraits traits() const = 0;
 
     /** Devices the line is striped over (n). */
     virtual int devices() const = 0;
@@ -150,6 +189,7 @@ class RsLineCodec : public LineCodec
     RsLineCodec(int n, int k, int data_bytes, int max_correct,
                 const char *name);
 
+    CodecTraits traits() const override;
     int devices() const override { return rs_.n(); }
     int sliceBytes() const override { return codewords_; }
     int dataBytes() const override { return dataBytes_; }
@@ -193,6 +233,7 @@ class LotLineCodec : public LineCodec
      */
     explicit LotLineCodec(int data_devices, int line_bytes = 64);
 
+    CodecTraits traits() const override;
     int devices() const override { return lot_.dataDevices() + 1; }
     int
     sliceBytes() const override
@@ -217,6 +258,133 @@ class LotLineCodec : public LineCodec
     LotEcc lot_;
     int dataBytes_;
 };
+
+/**
+ * Hsiao-style SECDED line codec on the paper's 9-device (x8) ECC DIMM
+ * layout, built on the Secded (72,64) kernel: a 64B line is eight
+ * 72-bit words; data device d stores byte lane d of every word, the
+ * ninth device stores the eight check bytes.  A whole-device failure
+ * therefore puts 8 adjacent bits into *every* word -- the failure
+ * mode SECDED cannot handle, which is exactly the baseline-vs-chipkill
+ * contrast of Chapter 1 that the fault matrix quantifies.
+ */
+class SecdedLineCodec : public LineCodec
+{
+  public:
+    SecdedLineCodec() = default;
+
+    CodecTraits traits() const override;
+    int devices() const override { return 9; }
+    int sliceBytes() const override { return kWords; }
+    int dataBytes() const override { return kWords * 8; }
+
+    void encodeInto(std::span<const std::uint8_t> data,
+                    DeviceSlices &out,
+                    LineWorkspace &ws) const override;
+    /**
+     * Per-word decode.  `out.positions` records one entry per
+     * corrected word, encoded as word * 73 + bitCorrected (the
+     * Secded::Result position, 1..72, with 72 the overall parity
+     * bit).  Erasures are not supported by this family (SECDED has no
+     * erasure channel); the list must be empty.
+     */
+    void decodeInto(DeviceSlices &slices, std::span<std::uint8_t> data,
+                    std::span<const int> erased, LineWorkspace &ws,
+                    DecodeResult &out) const override;
+    const char *name() const override { return "Hsiao SECDED (72,64)"; }
+
+  private:
+    static constexpr int kWords = 8;
+};
+
+/**
+ * BCH line codec: the whole line is one shortened binary
+ * BCH(dataBytes * 8 + parity, dataBytes * 8) codeword correcting t
+ * bit errors, serialized data-then-parity and striped over `devices`
+ * in contiguous chunks (device d stores wire bytes
+ * [d * sliceBytes, (d+1) * sliceBytes), zero-padded at the tail).
+ */
+class BchLineCodec : public LineCodec
+{
+  public:
+    /**
+     * @param data_bytes line payload (e.g. 64).
+     * @param t          bit-correction capability.
+     * @param devices    devices the wire format is striped over.
+     * @param name       display name.
+     */
+    BchLineCodec(int data_bytes, int t, int devices, const char *name);
+
+    CodecTraits traits() const override;
+    int devices() const override { return devices_; }
+    int sliceBytes() const override { return sliceBytes_; }
+    int dataBytes() const override { return dataBytes_; }
+
+    void encodeInto(std::span<const std::uint8_t> data,
+                    DeviceSlices &out,
+                    LineWorkspace &ws) const override;
+    /**
+     * `out.positions` records the wire bit indices the decoder
+     * flipped.  Erasures are not supported (the binary decoder has no
+     * erasure channel); the list must be empty.
+     */
+    void decodeInto(DeviceSlices &slices, std::span<std::uint8_t> data,
+                    std::span<const int> erased, LineWorkspace &ws,
+                    DecodeResult &out) const override;
+    const char *name() const override { return name_; }
+
+    const Bch &bch() const { return bch_; }
+
+  private:
+    Bch bch_;
+    int devices_;
+    int sliceBytes_;
+    int dataBytes_;
+    const char *name_;
+};
+
+/**
+ * The codec registry: every line codec the zoo knows, keyed by a
+ * short stable name.  The fault-injection matrix, the benches, and
+ * the CLI all resolve codecs through here, so adding a codec to the
+ * registry automatically adds it to every campaign.
+ *
+ * The paper's schemes are pre-registered under the keys
+ *   sccdcd, dcs, arcc-relaxed, arcc-upgraded, arcc-upgraded2,
+ *   lot9, lot18
+ * and the zoo additions under
+ *   hsiao72, bch512-t2, bch512-t4.
+ *
+ * Registration and lookup are mutex-guarded; codecs themselves are
+ * immutable after construction and safe to share across SimEngine
+ * shards (all scratch lives in the caller's LineWorkspace).
+ */
+namespace codecs
+{
+
+using Factory = std::function<std::unique_ptr<LineCodec>()>;
+
+/**
+ * Register a codec under `key`.  Fatal on a duplicate key or an
+ * empty factory: a silently replaced codec would repin every golden
+ * fault-matrix row.
+ */
+void registerCodec(const std::string &key, const std::string &summary,
+                   Factory factory);
+
+/** @return true when `key` is registered. */
+bool known(const std::string &key);
+
+/** Instantiate the codec registered under `key`; fatal if unknown. */
+std::unique_ptr<LineCodec> make(const std::string &key);
+
+/** One-line description of a registered codec; fatal if unknown. */
+std::string summary(const std::string &key);
+
+/** All registered keys, sorted. */
+std::vector<std::string> names();
+
+} // namespace codecs
 
 /** Factory helpers for the paper's schemes. */
 namespace schemes

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Binary BCH implementation: GF(2^m) tables, generator construction
+ * from cyclotomic cosets, the Berlekamp-Massey fast decoder, and the
+ * Peterson-Gorenstein-Zierler reference oracle.
+ */
+
+#include "ecc/bch.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/**
+ * Primitive polynomials over GF(2), indexed by m (bit m set).  The
+ * standard minimum-weight choices, e.g. x^10 + x^3 + 1 for m = 10.
+ */
+constexpr std::array<std::uint32_t, 14> kPrimPoly = {
+    0,      0,      0,      0,      0x13,   0x25,   0x43,
+    0x89,   0x11d,  0x211,  0x409,  0x805,  0x1053, 0x201b,
+};
+
+/** Smallest supported field degree. */
+constexpr int kMinM = 4;
+/** Largest supported field degree (tables stay small: 8K entries). */
+constexpr int kMaxM = 13;
+
+/** Read wire bit w (little-endian bit stream). */
+inline int
+wireBit(std::span<const std::uint8_t> wire, int w)
+{
+    return (wire[w >> 3] >> (w & 7)) & 1;
+}
+
+/** Flip wire bit w. */
+inline void
+wireFlip(std::span<std::uint8_t> wire, int w)
+{
+    wire[w >> 3] ^= static_cast<std::uint8_t>(1 << (w & 7));
+}
+
+/** Clear wire bit w. */
+inline void
+wireClear(std::span<std::uint8_t> wire, int w)
+{
+    wire[w >> 3] &=
+        static_cast<std::uint8_t>(~(1 << (w & 7)) & 0xff);
+}
+
+/** Set wire bit w to v (assumes the bit is currently clear). */
+inline void
+wireSet(std::span<std::uint8_t> wire, int w, int v)
+{
+    wire[w >> 3] |= static_cast<std::uint8_t>(v << (w & 7));
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Gf2m
+// ---------------------------------------------------------------------
+
+Gf2m::Gf2m(int m) : m_(m), n_((1 << m) - 1)
+{
+    if (m < kMinM || m > kMaxM)
+        fatal("Gf2m: field degree %d outside [%d, %d]", m, kMinM,
+              kMaxM);
+    const std::uint32_t poly = kPrimPoly[m];
+    exp_.resize(2 * n_);
+    log_.assign(n_ + 1, 0);
+    std::uint32_t x = 1;
+    for (int i = 0; i < n_; ++i) {
+        exp_[i] = static_cast<std::uint16_t>(x);
+        log_[x] = static_cast<std::uint16_t>(i);
+        x <<= 1;
+        if (x & (1u << m))
+            x ^= poly;
+    }
+    ARCC_ASSERT(x == 1); // x is primitive: the orbit closes at n.
+    // Doubled table so mul() can skip the mod on the summed logs --
+    // but keep the mod anyway for alphaPow's large exponents; the
+    // duplicate half still spares a branch in hot loops.
+    for (int i = 0; i < n_; ++i)
+        exp_[n_ + i] = exp_[i];
+}
+
+std::uint16_t
+Gf2m::inv(std::uint16_t a) const
+{
+    ARCC_ASSERT(a != 0);
+    return exp_[n_ - log_[a]];
+}
+
+int
+Gf2m::logOf(std::uint16_t a) const
+{
+    ARCC_ASSERT(a != 0);
+    return log_[a];
+}
+
+// ---------------------------------------------------------------------
+// Bch construction
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Build the generator polynomial of the t-error-correcting BCH code
+ * over `gf`: the product of the distinct minimal polynomials of
+ * alpha^1 .. alpha^2t.  Returns coefficient bits, low-to-high.
+ */
+std::vector<std::uint8_t>
+buildGenerator(const Gf2m &gf, int t)
+{
+    const int n = gf.n();
+    std::vector<std::uint8_t> gen = {1};
+    std::vector<char> covered(n, 0);
+    for (int i = 1; i <= 2 * t; ++i) {
+        if (covered[i % n])
+            continue;
+        // Minimal polynomial of alpha^i: product of (x + alpha^j)
+        // over the cyclotomic coset {i, 2i, 4i, ...} mod n, computed
+        // with GF(2^m) coefficients.
+        std::vector<std::uint16_t> mp = {1};
+        int j = i % n;
+        do {
+            covered[j] = 1;
+            const std::uint16_t root = gf.alphaPow(j);
+            mp.push_back(0);
+            for (std::size_t d = mp.size() - 1; d >= 1; --d)
+                mp[d] = mp[d - 1] ^ gf.mul(mp[d], root);
+            mp[0] = gf.mul(mp[0], root);
+            j = (2 * j) % n;
+        } while (j != i % n);
+        // Conjugate-closed products have GF(2) coefficients.
+        for (std::uint16_t c : mp)
+            ARCC_ASSERT(c <= 1);
+        // gen *= mp over GF(2).
+        std::vector<std::uint8_t> prod(gen.size() + mp.size() - 1, 0);
+        for (std::size_t a = 0; a < gen.size(); ++a) {
+            if (!gen[a])
+                continue;
+            for (std::size_t b = 0; b < mp.size(); ++b)
+                prod[a + b] ^= static_cast<std::uint8_t>(mp[b]);
+        }
+        gen = std::move(prod);
+    }
+    return gen;
+}
+
+} // anonymous namespace
+
+Bch::Bch(int data_bits, int t)
+    : gf_((
+          [&]() {
+              // Pick the smallest field whose dimension fits the
+              // requested block; the lambda runs before any member
+              // initialisation so gf_ can be constructed in place.
+              if (data_bits < 8 || data_bits % 8 != 0)
+                  fatal("Bch: data_bits %d must be a positive "
+                        "multiple of 8",
+                        data_bits);
+              if (t < 1 || t > 16)
+                  fatal("Bch: t=%d outside [1, 16]", t);
+              for (int m = kMinM; m <= kMaxM; ++m) {
+                  const int n = (1 << m) - 1;
+                  if (2 * t >= n)
+                      continue;
+                  Gf2m gf(m);
+                  const int deg =
+                      static_cast<int>(buildGenerator(gf, t).size()) -
+                      1;
+                  if (data_bits + deg <= n)
+                      return m;
+              }
+              fatal("Bch: %d data bits with t=%d does not fit "
+                    "GF(2^%d)",
+                    data_bits, t, kMaxM);
+          })()),
+      dataBits_(data_bits),
+      t_(t),
+      gen_(buildGenerator(gf_, t))
+{
+    r_ = static_cast<int>(gen_.size()) - 1;
+    ARCC_ASSERT(r_ >= 1 && dataBits_ + r_ <= gf_.n());
+}
+
+// ---------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------
+
+void
+Bch::encode(std::span<std::uint8_t> wire) const
+{
+    ARCC_ASSERT(wire.size() >=
+                static_cast<std::size_t>(codeBytes()));
+    // Parity = x^r d(x) mod g(x) via the standard bitwise LFSR
+    // division; rem[d] holds the coefficient of x^d.
+    std::array<std::uint8_t, 256> rem{};
+    for (int j = dataBits_ - 1; j >= 0; --j) {
+        const int fb = wireBit(wire, j) ^ rem[r_ - 1];
+        for (int d = r_ - 1; d > 0; --d)
+            rem[d] = rem[d - 1] ^ (fb & gen_[d]);
+        rem[0] = static_cast<std::uint8_t>(fb & gen_[0]);
+    }
+    for (int d = 0; d < r_; ++d) {
+        wireClear(wire, dataBits_ + d);
+        wireSet(wire, dataBits_ + d, rem[d]);
+    }
+    // Canonical wire: the pad bits of the last byte stay zero.
+    for (int w = codeBits(); w < codeBytes() * 8; ++w)
+        wireClear(wire, w);
+}
+
+// ---------------------------------------------------------------------
+// Fast decode: Horner syndromes + Berlekamp-Massey + Chien + delta
+// ---------------------------------------------------------------------
+
+Bch::Result
+Bch::decode(std::span<std::uint8_t> wire, BchWorkspace &ws,
+            std::vector<int> *positions) const
+{
+    Result res;
+    const int nbits = codeBits();
+    const int twoT = 2 * t_;
+
+    // Stage the coefficient view once: coefficient c of the codeword
+    // polynomial (parity low, data high).
+    ws.coeff.resize(nbits);
+    for (int c = 0; c < nbits; ++c)
+        ws.coeff[c] = static_cast<std::uint8_t>(
+            wireBit(wire, coeffToWire(c)));
+
+    // Syndromes S_j = c(alpha^j), j = 1..2t, by Horner from the top
+    // coefficient down.
+    ws.synd.assign(twoT, 0);
+    bool any = false;
+    for (int j = 1; j <= twoT; ++j) {
+        const std::uint16_t a = gf_.alphaPow(j);
+        std::uint16_t s = 0;
+        for (int c = nbits - 1; c >= 0; --c)
+            s = gf_.mul(s, a) ^ ws.coeff[c];
+        ws.synd[j - 1] = s;
+        any = any || s != 0;
+    }
+    if (!any)
+        return res; // Clean.
+
+    // Berlekamp-Massey over GF(2^m) for the error locator sigma(x).
+    std::vector<std::uint16_t> &sigma = ws.sigma;
+    std::vector<std::uint16_t> &bpoly = ws.prev;
+    std::vector<std::uint16_t> &tpoly = ws.scratch;
+    sigma.assign(1, 1);
+    bpoly.assign(1, 1);
+    int L = 0;
+    int shift = 1;
+    std::uint16_t b = 1;
+    for (int step = 0; step < twoT; ++step) {
+        std::uint16_t d = ws.synd[step];
+        for (int i = 1;
+             i <= L && i < static_cast<int>(sigma.size()); ++i)
+            d ^= gf_.mul(sigma[i], ws.synd[step - i]);
+        if (d == 0) {
+            ++shift;
+            continue;
+        }
+        const std::uint16_t coef = gf_.mul(d, gf_.inv(b));
+        if (2 * L <= step) {
+            tpoly.assign(sigma.begin(), sigma.end());
+            if (sigma.size() < bpoly.size() + shift)
+                sigma.resize(bpoly.size() + shift, 0);
+            for (std::size_t i = 0; i < bpoly.size(); ++i)
+                sigma[i + shift] ^= gf_.mul(coef, bpoly[i]);
+            L = step + 1 - L;
+            bpoly.assign(tpoly.begin(), tpoly.end());
+            b = d;
+            shift = 1;
+        } else {
+            if (sigma.size() < bpoly.size() + shift)
+                sigma.resize(bpoly.size() + shift, 0);
+            for (std::size_t i = 0; i < bpoly.size(); ++i)
+                sigma[i + shift] ^= gf_.mul(coef, bpoly[i]);
+            ++shift;
+        }
+    }
+    int deg = static_cast<int>(sigma.size()) - 1;
+    while (deg > 0 && sigma[deg] == 0)
+        --deg;
+    if (deg == 0 || deg > t_ || deg != L) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // Chien scan over the shortened coefficient positions: position c
+    // is in error iff sigma(alpha^-c) == 0.
+    const int n = gf_.n();
+    ws.roots.clear();
+    for (int c = 0; c < nbits; ++c) {
+        const std::uint16_t x = gf_.alphaPow(
+            static_cast<std::uint64_t>(n - (c % n)) % n);
+        std::uint16_t v = sigma[deg];
+        for (int i = deg - 1; i >= 0; --i)
+            v = gf_.mul(v, x) ^ sigma[i];
+        if (v == 0)
+            ws.roots.push_back(c);
+    }
+    if (static_cast<int>(ws.roots.size()) != deg) {
+        res.status = DecodeStatus::Detected;
+        return res;
+    }
+
+    // Syndrome-delta safety check: the located pattern must reproduce
+    // *every* syndrome before anything is flipped.  This is what makes
+    // an accepted correction unique (and the reference oracle exact).
+    for (int j = 1; j <= twoT; ++j) {
+        std::uint16_t delta = 0;
+        for (int c : ws.roots)
+            delta ^= gf_.alphaPow(static_cast<std::uint64_t>(j) *
+                                  static_cast<std::uint64_t>(c));
+        if (delta != ws.synd[j - 1]) {
+            res.status = DecodeStatus::Detected;
+            return res;
+        }
+    }
+
+    for (int c : ws.roots) {
+        const int w = coeffToWire(c);
+        wireFlip(wire, w);
+        if (positions)
+            positions->push_back(w);
+    }
+    res.status = DecodeStatus::Corrected;
+    res.bitsCorrected = static_cast<int>(ws.roots.size());
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// Reference decode: PGZ + brute-force roots + full recomputation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Naive syndrome set of the wire (per set bit, no Horner). */
+std::vector<std::uint16_t>
+referenceSyndromes(const Bch &code, std::span<const std::uint8_t> wire)
+{
+    const Gf2m &gf = code.field();
+    std::vector<std::uint16_t> synd(2 * code.t(), 0);
+    for (int c = 0; c < code.codeBits(); ++c) {
+        if (!wireBit(wire, code.coeffToWire(c)))
+            continue;
+        for (int j = 1; j <= 2 * code.t(); ++j)
+            synd[j - 1] ^=
+                gf.alphaPow(static_cast<std::uint64_t>(j) *
+                            static_cast<std::uint64_t>(c));
+    }
+    return synd;
+}
+
+/**
+ * Solve the v x v PGZ system A sigma = rhs over GF(2^m) by Gaussian
+ * elimination.  A[a][b] = S_{a+b+1}, rhs[a] = S_{v+a+1}; the unknowns
+ * come back as sigma_v .. sigma_1.  Returns false when singular.
+ */
+bool
+solvePgz(const Gf2m &gf, const std::vector<std::uint16_t> &synd,
+         int v, std::vector<std::uint16_t> &out)
+{
+    std::vector<std::vector<std::uint16_t>> a(
+        v, std::vector<std::uint16_t>(v + 1, 0));
+    for (int row = 0; row < v; ++row) {
+        for (int col = 0; col < v; ++col)
+            a[row][col] = synd[row + col];
+        a[row][v] = synd[v + row];
+    }
+    for (int col = 0; col < v; ++col) {
+        int pivot = -1;
+        for (int row = col; row < v; ++row) {
+            if (a[row][col] != 0) {
+                pivot = row;
+                break;
+            }
+        }
+        if (pivot < 0)
+            return false;
+        std::swap(a[col], a[pivot]);
+        const std::uint16_t piv_inv = gf.inv(a[col][col]);
+        for (int c = col; c <= v; ++c)
+            a[col][c] = gf.mul(a[col][c], piv_inv);
+        for (int row = 0; row < v; ++row) {
+            if (row == col || a[row][col] == 0)
+                continue;
+            const std::uint16_t f = a[row][col];
+            for (int c = col; c <= v; ++c)
+                a[row][c] ^= gf.mul(f, a[col][c]);
+        }
+    }
+    out.resize(v);
+    for (int row = 0; row < v; ++row)
+        out[row] = a[row][v]; // unknown row 0 is sigma_v.
+    return true;
+}
+
+} // anonymous namespace
+
+Bch::Result
+BchReference::decode(const Bch &code, std::span<std::uint8_t> wire,
+                     std::vector<int> *positions)
+{
+    Bch::Result res;
+    const Gf2m &gf = code.field();
+    const int n = gf.n();
+
+    std::vector<std::uint16_t> synd = referenceSyndromes(code, wire);
+    bool any = false;
+    for (std::uint16_t s : synd)
+        any = any || s != 0;
+    if (!any)
+        return res; // Clean.
+
+    for (int v = code.t(); v >= 1; --v) {
+        std::vector<std::uint16_t> unknowns;
+        if (!solvePgz(gf, synd, v, unknowns))
+            continue;
+        // sigma(x) = 1 + sigma_1 x + ... + sigma_v x^v with
+        // unknowns[row] = sigma_{v-row}.
+        std::vector<std::uint16_t> sigma(v + 1, 0);
+        sigma[0] = 1;
+        for (int row = 0; row < v; ++row)
+            sigma[v - row] = unknowns[row];
+        if (sigma[v] == 0)
+            continue; // Degree collapsed: not a weight-v locator.
+
+        // Brute-force root search over the shortened positions.
+        std::vector<int> roots;
+        for (int c = 0; c < code.codeBits(); ++c) {
+            const std::uint16_t x = gf.alphaPow(
+                static_cast<std::uint64_t>(n - (c % n)) % n);
+            std::uint16_t val = 0;
+            std::uint16_t xp = 1;
+            for (int i = 0; i <= v; ++i) {
+                val ^= gf.mul(sigma[i], xp);
+                xp = gf.mul(xp, x);
+            }
+            if (val == 0)
+                roots.push_back(c);
+        }
+        if (static_cast<int>(roots.size()) != v)
+            continue;
+
+        // Tentatively flip, recompute everything, and only commit a
+        // correction that leaves a true codeword behind.
+        for (int c : roots)
+            wireFlip(wire, code.coeffToWire(c));
+        std::vector<std::uint16_t> after =
+            referenceSyndromes(code, wire);
+        bool clean = true;
+        for (std::uint16_t s : after)
+            clean = clean && s == 0;
+        if (!clean) {
+            for (int c : roots)
+                wireFlip(wire, code.coeffToWire(c));
+            continue;
+        }
+        if (positions) {
+            for (int c : roots)
+                positions->push_back(code.coeffToWire(c));
+        }
+        res.status = DecodeStatus::Corrected;
+        res.bitsCorrected = v;
+        return res;
+    }
+    res.status = DecodeStatus::Detected;
+    return res;
+}
+
+} // namespace arcc

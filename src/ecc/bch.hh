@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Binary BCH codes over GF(2^m) with configurable block and code size.
+ *
+ * The codec zoo's bit-granularity workhorse: where the Reed-Solomon
+ * schemes correct whole 8-bit device symbols, a BCH(data_bits, t) code
+ * corrects up to t arbitrary *bit* errors anywhere in the block --
+ * the ECC family NAND controllers and on-die DRAM ECC actually deploy
+ * (cf. myssd_sdk's BCH_BLOCK_SIZE/BCH_CODE_SIZE configurations).  The
+ * fault-injection matrix compares it head-to-head against the paper's
+ * chipkill RS schemes under device-burst fail modes.
+ *
+ * Construction is the textbook one: the generator polynomial is the
+ * LCM of the minimal polynomials of alpha^1 .. alpha^2t over GF(2),
+ * the code is shortened from the full 2^m - 1 cyclic length down to
+ * data_bits + parity bits, and the field size m is picked
+ * automatically as the smallest (4 <= m <= 13) whose dimension fits
+ * the requested block.
+ *
+ * Two decoders ship, mirroring the RS fast/reference split:
+ *
+ *  - Bch::decode -- syndromes by Horner evaluation, Berlekamp-Massey
+ *    for the error locator, a Chien scan over the shortened positions,
+ *    and a syndrome-delta safety check before any bit is flipped
+ *    (allocation-free through a BchWorkspace);
+ *  - BchReference::decode -- an independently written
+ *    Peterson-Gorenstein-Zierler oracle (naive per-bit syndromes,
+ *    Gaussian elimination on the syndrome matrix, brute-force root
+ *    search, full syndrome recomputation before committing).
+ *
+ * Because both decoders verify every accepted correction against all
+ * 2t syndromes, and a weight <= t pattern consistent with a syndrome
+ * sequence is unique (two such patterns would XOR to a codeword of
+ * weight <= 2t < d), the two decoders agree bit-for-bit on *every*
+ * input -- including miscorrection patterns beyond t errors.  The
+ * property suite fuzzes exactly this.
+ */
+
+#ifndef ARCC_ECC_BCH_HH
+#define ARCC_ECC_BCH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/reed_solomon.hh" // for DecodeStatus
+
+namespace arcc
+{
+
+/**
+ * GF(2^m) arithmetic tables for the BCH codecs, 4 <= m <= 13.
+ * Elements are 16-bit polynomial representations; alpha (the primitive
+ * root x of the field polynomial) generates the multiplicative group.
+ */
+class Gf2m
+{
+  public:
+    /** Build the exp/log tables for GF(2^m).  Fatal outside [4, 13]. */
+    explicit Gf2m(int m);
+
+    int m() const { return m_; }
+    /** Multiplicative group order, 2^m - 1. */
+    int n() const { return n_; }
+
+    std::uint16_t
+    mul(std::uint16_t a, std::uint16_t b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return exp_[(log_[a] + log_[b]) % n_];
+    }
+
+    /** Multiplicative inverse.  Asserts a != 0. */
+    std::uint16_t inv(std::uint16_t a) const;
+
+    /** alpha^e for any non-negative exponent (reduced mod n). */
+    std::uint16_t
+    alphaPow(std::uint64_t e) const
+    {
+        return exp_[e % static_cast<std::uint64_t>(n_)];
+    }
+
+    /** Discrete log base alpha.  Asserts a != 0. */
+    int logOf(std::uint16_t a) const;
+
+  private:
+    int m_;
+    int n_;
+    std::vector<std::uint16_t> exp_;
+    std::vector<std::uint16_t> log_;
+};
+
+/**
+ * Scratch arena for one in-flight BCH decode.  All vectors reach
+ * steady-state capacity after the first decode of a given code, so a
+ * sweep loop performs zero allocations from then on.  One per
+ * SimEngine worker / shard; not thread-safe.
+ */
+struct BchWorkspace
+{
+    /** Codeword coefficient bits, one byte per bit (staging). */
+    std::vector<std::uint8_t> coeff;
+    /** Syndromes S_1 .. S_2t (0-indexed: synd[j-1] = S_j). */
+    std::vector<std::uint16_t> synd;
+    /** Berlekamp-Massey polynomials. */
+    std::vector<std::uint16_t> sigma;
+    std::vector<std::uint16_t> prev;
+    std::vector<std::uint16_t> scratch;
+    /** Chien-located error coefficient positions. */
+    std::vector<int> roots;
+};
+
+/**
+ * A shortened binary BCH(data_bits + parity, data_bits) code
+ * correcting t bit errors.
+ *
+ * Wire format: a little-endian bit stream (bit i lives at byte i/8,
+ * bit i%8).  Bits [0, dataBits()) are the data block verbatim
+ * (systematic), bits [dataBits(), codeBits()) the parity remainder.
+ * Any trailing pad bits of the last wire byte are kept zero by
+ * encode() so the serialized form is canonical.
+ */
+class Bch
+{
+  public:
+    /**
+     * Build the code.  Fatal when the parameters are unsatisfiable.
+     * @param data_bits block size in bits; a positive multiple of 8.
+     * @param t         bit-correction capability, 1 <= t <= 16.
+     */
+    Bch(int data_bits, int t);
+
+    int dataBits() const { return dataBits_; }
+    int t() const { return t_; }
+    /** Parity (check) bits appended: deg of the generator. */
+    int parityBits() const { return r_; }
+    /** Total codeword length in bits (shortened). */
+    int codeBits() const { return dataBits_ + r_; }
+    /** Serialized codeword size, ceil(codeBits / 8). */
+    int codeBytes() const { return (codeBits() + 7) / 8; }
+    /** Field degree m the code was constructed over. */
+    int m() const { return gf_.m(); }
+
+    const Gf2m &field() const { return gf_; }
+
+    /** Outcome of one decode. */
+    struct Result
+    {
+        DecodeStatus status = DecodeStatus::Clean;
+        /** Bits flipped by the decoder (0 unless Corrected). */
+        int bitsCorrected = 0;
+
+        bool ok() const { return status != DecodeStatus::Detected; }
+    };
+
+    /**
+     * Systematic encode in place: reads the data bits, writes the
+     * parity bits and zeroes the wire pad.  Allocation-free.
+     * @param wire buffer of at least codeBytes().
+     */
+    void encode(std::span<std::uint8_t> wire) const;
+
+    /**
+     * Decode in place, correcting up to t bit errors.  A correction
+     * is only committed after a syndrome-delta check proves the
+     * flipped pattern reproduces every syndrome; anything else is
+     * Detected.  Allocation-free at steady state through `ws`.
+     *
+     * @param positions when non-null, the *wire* bit indices the
+     *                  decoder flipped are appended (Corrected only).
+     */
+    Result decode(std::span<std::uint8_t> wire, BchWorkspace &ws,
+                  std::vector<int> *positions = nullptr) const;
+
+    /**
+     * Map a codeword polynomial coefficient index (parity occupies
+     * [0, parityBits()), data [parityBits(), codeBits())) to its wire
+     * bit index, and back.  Shared with the reference decoder and the
+     * tests.
+     */
+    int
+    coeffToWire(int c) const
+    {
+        return c >= r_ ? c - r_ : dataBits_ + c;
+    }
+
+    int
+    wireToCoeff(int w) const
+    {
+        return w < dataBits_ ? r_ + w : w - dataBits_;
+    }
+
+  private:
+    Gf2m gf_;
+    int dataBits_;
+    int t_;
+    /** Generator degree == parity bits. */
+    int r_;
+    /** Generator polynomial coefficient bits, low-to-high, deg r_. */
+    std::vector<std::uint8_t> gen_;
+};
+
+/**
+ * The retained-oracle decoder: Peterson-Gorenstein-Zierler with a
+ * brute-force root search and a full syndrome recomputation before
+ * any correction is committed.  Structured independently of
+ * Bch::decode on purpose; the property suite pins the two
+ * bit-identical (see the file comment for why that equality is exact,
+ * not statistical).
+ */
+class BchReference
+{
+  public:
+    static Bch::Result decode(const Bch &code,
+                              std::span<std::uint8_t> wire,
+                              std::vector<int> *positions = nullptr);
+};
+
+} // namespace arcc
+
+#endif // ARCC_ECC_BCH_HH

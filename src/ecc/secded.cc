@@ -144,4 +144,33 @@ Secded::decode(std::uint64_t &data, std::uint8_t &check)
     return res;
 }
 
+Secded::Result
+Secded::referenceDecode(std::uint64_t &data, std::uint8_t &check)
+{
+    Result res;
+    if (encode(data) == check) {
+        res.status = DecodeStatus::Clean;
+        return res;
+    }
+    // Try every single wire-bit flip; with minimum distance 4 at most
+    // one of the 72 candidates can be a codeword.
+    for (int b = 0; b < 72; ++b) {
+        std::uint64_t d = data;
+        std::uint8_t c = check;
+        if (b < 64)
+            d ^= 1ULL << b;
+        else
+            c ^= static_cast<std::uint8_t>(1 << (b - 64));
+        if (encode(d) == c) {
+            data = d;
+            check = c;
+            res.status = DecodeStatus::Corrected;
+            res.bitCorrected = b;
+            return res;
+        }
+    }
+    res.status = DecodeStatus::Detected;
+    return res;
+}
+
 } // namespace arcc

@@ -39,6 +39,20 @@ class Secded
      * double-bit errors are Detected.
      */
     static Result decode(std::uint64_t &data, std::uint8_t &check);
+
+    /**
+     * Oracle decoder for the property suite: exhaustive
+     * nearest-codeword search over the 72 wire bits (0..63 data,
+     * 64..71 check).  If (data, check) is consistent it is Clean; if
+     * flipping exactly one wire bit makes it consistent that flip is
+     * applied and reported as Corrected; otherwise Detected.
+     *
+     * Note `bitCorrected` here is the *wire* bit index (0..71), not
+     * the fast decoder's 1-based Hamming position -- tests pin status
+     * and corrected-word equality, not the position encoding.
+     */
+    static Result referenceDecode(std::uint64_t &data,
+                                  std::uint8_t &check);
 };
 
 } // namespace arcc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The codec-zoo fault-injection matrix: every registered line codec
+ * swept over (fail mode x error count) cells, each cell either
+ * exhaustive over all error-position combinations or stratified by
+ * per-trial random sampling.
+ *
+ * This is the comparison substrate ROADMAP's "codec zoo" item asks
+ * for: one campaign that puts the paper's chipkill RS schemes, the
+ * SECDED baseline, and the BCH family side by side and reports how
+ * often each one silently corrupts (SDC), miscorrects, raises a DUE,
+ * or recovers -- under the exact same injected error patterns.
+ *
+ * Determinism contract (the reason every count here can be
+ * golden-pinned): the campaign is one SimEngine::reduceShards over
+ * the concatenated global trial space; each trial's generator is
+ * Rng::stream(seed, globalTrialIndex), a pure function; shard
+ * boundaries depend only on the trial count; and partial counters are
+ * merged in shard order.  An N-thread run is therefore bit-identical
+ * to a 1-thread run -- tests/test_determinism.cc pins the matrix hash
+ * at 1, 2 and 7 threads, and CI diffs the bench JSON across thread
+ * counts and SIMD legs.
+ *
+ * Cell layout per codec (capability k = traits().correct):
+ *
+ *   none   x {0}        -- control: decode of an untouched line;
+ *   random x {1..k+2}   -- e errors anywhere in the wire image;
+ *   burst  x {1..k+2}   -- e errors confined to one device's slice
+ *                          (the chipkill failure mode).
+ *
+ * Error granularity follows traits().symbolBits: symbol codecs (RS,
+ * LOT-ECC) get whole corrupted wire bytes (a random non-zero XOR
+ * mask), bit codecs (BCH, SECDED) get single flipped wire bits.
+ *
+ * A cell whose error-position combination count fits under
+ * `exhaustiveLimit` enumerates every combination exactly once
+ * (lexicographic unranking of the trial index); larger cells fall
+ * back to `trialsPerCell` stratified trials with positions sampled
+ * from the trial's Rng stream.  Either way the per-trial corruption
+ * masks come from the trial stream, so cells are reproducible in
+ * isolation.
+ */
+
+#ifndef ARCC_FAULTS_FAULT_MATRIX_HH
+#define ARCC_FAULTS_FAULT_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arcc/ecc_scheme.hh"
+
+namespace arcc
+{
+
+class SimEngine;
+
+/** How a cell's error positions are placed. */
+enum class FailMode : int
+{
+    None = 0, ///< no injected errors (control row).
+    Random,   ///< anywhere in the wire image.
+    Burst,    ///< confined to one device's slice.
+};
+
+/** Display name. */
+const char *toString(FailMode m);
+
+/** Campaign configuration. */
+struct FaultMatrixConfig
+{
+    /** Registry keys of the codecs to sweep (codecs::make each). */
+    std::vector<std::string> codecs;
+    /** Trials for a stratified (non-exhaustive) cell. */
+    std::uint64_t trialsPerCell = 96;
+    /**
+     * A cell whose error-position combination count is at most this
+     * enumerates every combination exactly once instead of sampling.
+     */
+    std::uint64_t exhaustiveLimit = 640;
+    /** Errors swept beyond each codec's correction capability. */
+    int extraErrors = 2;
+    /** Experiment seed (Rng::stream base). */
+    std::uint64_t seed = 20130223;
+};
+
+/** One (codec, fail mode, error count) cell of the matrix. */
+struct FaultCell
+{
+    /** Registry key. */
+    std::string codec;
+    /** Display name / family tag from the codec's traits. */
+    std::string name;
+    std::string family;
+    FailMode mode = FailMode::None;
+    /** Injected errors per trial (symbols or bits per symbolBits). */
+    int errors = 0;
+    /** Granularity the errors were injected at (1 or 8 bits). */
+    int symbolBits = 8;
+    /** True when every position combination was enumerated. */
+    bool exhaustive = false;
+    /** Trials run. */
+    std::uint64_t trials = 0;
+
+    // Outcome counters (sum == trials).
+    std::uint64_t clean = 0;       ///< decoder Clean, data intact.
+    std::uint64_t corrected = 0;   ///< decoder Corrected, data intact.
+    std::uint64_t miscorrected = 0;///< decoder Corrected, data WRONG.
+    std::uint64_t due = 0;         ///< decoder Detected (uncorrectable).
+    std::uint64_t sdc = 0;         ///< decoder Clean, data WRONG.
+};
+
+/** The full campaign result. */
+struct FaultMatrixResult
+{
+    FaultMatrixConfig config;
+    std::vector<FaultCell> cells;
+
+    /**
+     * Order-sensitive digest of every cell's identity and counters:
+     * the value the determinism tests and the CI golden pin compare.
+     */
+    std::uint64_t hash() const;
+};
+
+/**
+ * Run the campaign.  Sharded on `engine` (SimEngine::global() when
+ * nullptr); bit-identical at any thread count.  Fatal on an unknown
+ * codec key.
+ */
+FaultMatrixResult runFaultMatrix(const FaultMatrixConfig &config,
+                                 SimEngine *engine = nullptr);
+
+} // namespace arcc
+
+#endif // ARCC_FAULTS_FAULT_MATRIX_HH

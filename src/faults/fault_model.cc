@@ -95,7 +95,10 @@ DomainGeometry::pageFraction(FaultType t) const
       case FaultType::Bit:
         return 1.0 / static_cast<double>(pages);
     }
-    return 0.0;
+    // A new FaultType silently contributing zero would vanish from
+    // every reliability number; fail loudly instead.
+    fatal("DomainGeometry::pageFraction: unhandled fault type %d",
+          static_cast<int>(t));
 }
 
 FaultSampler::FaultSampler(const DomainGeometry &geom,
@@ -124,11 +127,21 @@ FaultSampler::sampleLifetime(double hours, Rng &rng) const
             events.push_back(e);
         }
     }
-    std::sort(events.begin(), events.end(),
-              [](const FaultEvent &a, const FaultEvent &b) {
-                  return a.timeHours < b.timeHours;
-              });
+    sortEvents(events);
     return events;
+}
+
+void
+FaultSampler::sortEvents(std::vector<FaultEvent> &events)
+{
+    // stable_sort, not sort: equal timestamps keep their type-major
+    // insertion order, so lifetimes are bit-identical across standard
+    // libraries (unstable sort made tie order libstdc++/libc++
+    // dependent, which broke golden-pinned campaign results).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.timeHours < b.timeHours;
+                     });
 }
 
 } // namespace arcc

@@ -123,6 +123,14 @@ class FaultSampler
     /** Sample one lifetime of `hours`; events sorted by time. */
     std::vector<FaultEvent> sampleLifetime(double hours, Rng &rng) const;
 
+    /**
+     * Sort events by arrival time with a *stable* sort: equal
+     * timestamps keep their type-major insertion order, making the
+     * sampled history independent of the standard library's sort
+     * implementation.  Exposed for the determinism regression test.
+     */
+    static void sortEvents(std::vector<FaultEvent> &events);
+
     const DomainGeometry &geometry() const { return geom_; }
     const FaultRates &rates() const { return rates_; }
 

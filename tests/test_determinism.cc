@@ -33,6 +33,7 @@
 #include "dram/channel_shard.hh"
 #include "dram/dram_params.hh"
 #include "engine/sim_engine.hh"
+#include "faults/fault_matrix.hh"
 #include "reliability/sdc_model.hh"
 
 namespace arcc
@@ -94,6 +95,59 @@ TEST(McSdcDeterminism, ScalarEntryPointMatchesDetailed)
     double scalar =
         model.mcArccSdcEvents(7.0, 2000.0, 300, 99, &engine);
     EXPECT_DOUBLE_EQ(scalar, runMc(&engine).eventsPerTrial());
+}
+
+// --- codec-zoo fault-injection matrix ----------------------------------
+
+/** One RS, one SECDED, one BCH codec: every injection granularity. */
+FaultMatrixConfig
+faultMatrixConfig()
+{
+    FaultMatrixConfig cfg;
+    cfg.codecs = {"arcc-relaxed", "hsiao72", "bch512-t2"};
+    cfg.trialsPerCell = 96;
+    cfg.exhaustiveLimit = 640;
+    cfg.seed = 20130223;
+    return cfg;
+}
+
+TEST(FaultMatrixDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    SimEngine ref_engine(SimEngine::Options{1});
+    FaultMatrixResult ref =
+        runFaultMatrix(faultMatrixConfig(), &ref_engine);
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        FaultMatrixResult r =
+            runFaultMatrix(faultMatrixConfig(), &engine);
+        ASSERT_EQ(r.cells.size(), ref.cells.size());
+        for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+            SCOPED_TRACE(ref.cells[i].codec + "/" +
+                         toString(ref.cells[i].mode) + "/" +
+                         std::to_string(ref.cells[i].errors));
+            EXPECT_EQ(r.cells[i].trials, ref.cells[i].trials);
+            EXPECT_EQ(r.cells[i].clean, ref.cells[i].clean);
+            EXPECT_EQ(r.cells[i].corrected, ref.cells[i].corrected);
+            EXPECT_EQ(r.cells[i].miscorrected,
+                      ref.cells[i].miscorrected);
+            EXPECT_EQ(r.cells[i].due, ref.cells[i].due);
+            EXPECT_EQ(r.cells[i].sdc, ref.cells[i].sdc);
+        }
+        EXPECT_EQ(r.hash(), ref.hash());
+    }
+}
+
+TEST(FaultMatrixDeterminism, GoldenHashOnTheGlobalEngine)
+{
+    // Golden digest of the whole (codec x mode x error-count) table
+    // for faultMatrixConfig(), via the ARCC_THREADS-sized global
+    // engine: CI runs this at 1 and 4 threads and both must reproduce
+    // it bit-for-bit.  Any change to a codec, the injection plan, or
+    // the Rng stream layout lands here first.
+    FaultMatrixResult r = runFaultMatrix(faultMatrixConfig());
+    EXPECT_EQ(r.cells.size(), 23u);
+    EXPECT_EQ(r.hash(), 0xfcad756f62442c10ULL);
 }
 
 // --- sharded scrubber --------------------------------------------------

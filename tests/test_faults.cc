@@ -53,6 +53,56 @@ TEST(DomainGeometry, Table74UpgradeFractions)
     EXPECT_DOUBLE_EQ(g.pageFraction(FaultType::Bit), 1.0 / 1048576);
 }
 
+TEST(DomainGeometryDeathTest, UnhandledFaultTypeIsFatal)
+{
+    // The switch in pageFraction is exhaustive over FaultType; a value
+    // outside the enum (a future type the switch forgot) must die
+    // loudly instead of silently contributing 0 to every reliability
+    // number.
+    DomainGeometry g;
+    EXPECT_EXIT(g.pageFraction(static_cast<FaultType>(99)),
+                ::testing::ExitedWithCode(1),
+                "unhandled fault type 99");
+}
+
+TEST(FaultSampler, SortEventsIsStableOnTimestampTies)
+{
+    // Forced ties: interleave three timestamps across fault types in
+    // type-major insertion order, as sampleLifetime produces them.  A
+    // stable sort must keep that insertion order within each tie
+    // group; std::sort was free to permute it differently per
+    // standard library, which broke cross-toolchain golden pinning.
+    std::vector<FaultEvent> events;
+    int device = 0;
+    for (FaultType t : allFaultTypes()) {
+        for (double time : {2.0, 1.0, 2.0}) {
+            FaultEvent e;
+            e.timeHours = time;
+            e.type = t;
+            e.device = device++; // Unique tag per insertion.
+            events.push_back(e);
+        }
+    }
+    FaultSampler::sortEvents(events);
+
+    ASSERT_EQ(events.size(), 21u);
+    // First seven: the time==1.0 events, one per type in enum order.
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_DOUBLE_EQ(events[i].timeHours, 1.0);
+        EXPECT_EQ(events[i].type, allFaultTypes()[i]) << i;
+        EXPECT_EQ(events[i].device, i * 3 + 1) << i;
+    }
+    // Remaining fourteen: the time==2.0 ties in insertion order --
+    // both events of type 0 before both events of type 1, and within
+    // a type the earlier insertion first.
+    for (int i = 0; i < 14; ++i) {
+        const FaultEvent &e = events[7 + i];
+        EXPECT_DOUBLE_EQ(e.timeHours, 2.0);
+        EXPECT_EQ(e.type, allFaultTypes()[i / 2]) << i;
+        EXPECT_EQ(e.device, (i / 2) * 3 + (i % 2 == 0 ? 0 : 2)) << i;
+    }
+}
+
 TEST(FaultSampler, EventCountMatchesRates)
 {
     DomainGeometry g;

@@ -1,10 +1,16 @@
 /**
  * @file
  * SECDED (72,64) tests: exhaustive single-bit correction, double-bit
- * detection, and round trips.
+ * detection, round trips, the check-bit / overall-parity correction
+ * paths, and fast-vs-reference oracle agreement (exhaustive at weight
+ * <= 2, seed-logged fuzz at weight 3 where miscorrection aliasing
+ * begins).
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
 
 #include "common/rng.hh"
 #include "ecc/secded.hh"
@@ -13,6 +19,16 @@ namespace arcc
 {
 namespace
 {
+
+/** Flip wire bit b (0..63 data, 64..71 check) of a (data, check). */
+void
+flipWire(std::uint64_t &data, std::uint8_t &check, int b)
+{
+    if (b < 64)
+        data ^= 1ULL << b;
+    else
+        check ^= static_cast<std::uint8_t>(1 << (b - 64));
+}
 
 TEST(Secded, CleanRoundTrip)
 {
@@ -93,6 +109,168 @@ TEST(Secded, DetectsDataPlusCheckDoubleErrors)
                 << i << "," << j;
         }
     }
+}
+
+TEST(Secded, SingleBitSweepCoversEveryHammingPosition)
+{
+    // Exhaustive over all 72 wire bits: every flip corrects, the wire
+    // round-trips, and the reported bitCorrected values cover exactly
+    // the 1-based Hamming positions {1..72} -- data bits at
+    // non-power-of-two positions, the 7 check bits at the powers of
+    // two, and 72 for the overall parity bit.
+    Rng rng(20);
+    std::uint64_t data = rng.next();
+    std::uint8_t check = Secded::encode(data);
+
+    std::set<int> seen;
+    for (int b = 0; b < 72; ++b) {
+        std::uint64_t d = data;
+        std::uint8_t c = check;
+        flipWire(d, c, b);
+        auto res = Secded::decode(d, c);
+        ASSERT_EQ(res.status, DecodeStatus::Corrected) << b;
+        EXPECT_EQ(d, data) << b;
+        EXPECT_EQ(c, check) << b;
+        seen.insert(res.bitCorrected);
+    }
+    EXPECT_EQ(seen.size(), 72u);
+    EXPECT_EQ(*seen.begin(), 1);
+    EXPECT_EQ(*seen.rbegin(), 72);
+}
+
+TEST(Secded, OverallParityBitCorrectionReportsPosition72)
+{
+    Rng rng(21);
+    for (int rep = 0; rep < 32; ++rep) {
+        std::uint64_t data = rng.next();
+        std::uint8_t check = Secded::encode(data);
+        std::uint64_t d = data;
+        std::uint8_t c = check ^ 0x80; // Wire bit 71: overall parity.
+        auto res = Secded::decode(d, c);
+        ASSERT_EQ(res.status, DecodeStatus::Corrected);
+        EXPECT_EQ(res.bitCorrected, 72);
+        EXPECT_EQ(d, data);
+        EXPECT_EQ(c, check);
+    }
+}
+
+TEST(Secded, DetectsEveryDoubleWireBitError)
+{
+    // All C(72, 2) pairs, including check+check and check+parity
+    // combinations the data-only sweeps miss.
+    Rng rng(22);
+    std::uint64_t data = rng.next();
+    std::uint8_t check = Secded::encode(data);
+    for (int i = 0; i < 72; ++i) {
+        for (int j = i + 1; j < 72; ++j) {
+            std::uint64_t d = data;
+            std::uint8_t c = check;
+            flipWire(d, c, i);
+            flipWire(d, c, j);
+            auto res = Secded::decode(d, c);
+            EXPECT_EQ(res.status, DecodeStatus::Detected)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Secded, ReferenceDecodeAgreesExhaustivelyUpToWeightTwo)
+{
+    Rng rng(23);
+    std::uint64_t data = rng.next();
+    std::uint8_t check = Secded::encode(data);
+
+    // Weight 0.
+    {
+        std::uint64_t d = data;
+        std::uint8_t c = check;
+        auto ref = Secded::referenceDecode(d, c);
+        EXPECT_EQ(ref.status, DecodeStatus::Clean);
+    }
+    // Weight 1: both decoders correct to the same codeword (position
+    // numbering differs by design: fast reports Hamming positions,
+    // the reference wire bits).
+    for (int b = 0; b < 72; ++b) {
+        std::uint64_t df = data, dr = data;
+        std::uint8_t cf = check, cr = check;
+        flipWire(df, cf, b);
+        flipWire(dr, cr, b);
+        auto fast = Secded::decode(df, cf);
+        auto ref = Secded::referenceDecode(dr, cr);
+        ASSERT_EQ(fast.status, ref.status) << b;
+        EXPECT_EQ(ref.bitCorrected, b);
+        EXPECT_EQ(df, dr) << b;
+        EXPECT_EQ(cf, cr) << b;
+    }
+    // Weight 2: both must refuse to touch the word.
+    for (int i = 0; i < 72; ++i) {
+        for (int j = i + 1; j < 72; ++j) {
+            std::uint64_t df = data, dr = data;
+            std::uint8_t cf = check, cr = check;
+            flipWire(df, cf, i);
+            flipWire(df, cf, j);
+            flipWire(dr, cr, i);
+            flipWire(dr, cr, j);
+            auto fast = Secded::decode(df, cf);
+            auto ref = Secded::referenceDecode(dr, cr);
+            EXPECT_EQ(fast.status, DecodeStatus::Detected)
+                << i << "," << j;
+            EXPECT_EQ(ref.status, DecodeStatus::Detected)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Secded, TripleBitFuzzMatchesReferenceOracle)
+{
+    // Weight 3 is where extended Hamming aliases: an odd-parity
+    // syndrome that happens to point at a valid position silently
+    // miscorrects to a neighbouring codeword.  Both decoders must
+    // alias *identically* -- same status, same resulting word --
+    // since the reference's nearest-codeword search finds the unique
+    // distance-1 codeword whenever the fast path claims one exists.
+    const std::uint64_t seed = 0x5ecd'ed03'2026ULL;
+    std::printf("[ seed ] SecdedTripleBitFuzz seed=0x%llx\n",
+                static_cast<unsigned long long>(seed));
+    Rng rng(seed);
+    int miscorrections = 0;
+    for (int rep = 0; rep < 4000; ++rep) {
+        std::uint64_t data = rng.next();
+        std::uint8_t check = Secded::encode(data);
+        int b1 = static_cast<int>(rng.below(72));
+        int b2, b3;
+        do {
+            b2 = static_cast<int>(rng.below(72));
+        } while (b2 == b1);
+        do {
+            b3 = static_cast<int>(rng.below(72));
+        } while (b3 == b1 || b3 == b2);
+
+        std::uint64_t df = data, dr = data;
+        std::uint8_t cf = check, cr = check;
+        for (int b : {b1, b2, b3}) {
+            flipWire(df, cf, b);
+            flipWire(dr, cr, b);
+        }
+        auto fast = Secded::decode(df, cf);
+        auto ref = Secded::referenceDecode(dr, cr);
+        ASSERT_EQ(fast.status, ref.status)
+            << b1 << "," << b2 << "," << b3;
+        EXPECT_EQ(df, dr) << b1 << "," << b2 << "," << b3;
+        EXPECT_EQ(cf, cr) << b1 << "," << b2 << "," << b3;
+        // An odd number of flips never leaves a consistent word, so
+        // Clean is impossible; corrections are miscorrections.
+        EXPECT_NE(fast.status, DecodeStatus::Clean);
+        if (fast.status == DecodeStatus::Corrected) {
+            ++miscorrections;
+            EXPECT_NE(df, data); // Really a different codeword.
+        }
+    }
+    // Weight-3 patterns mostly miscorrect in (72, 64): the syndrome
+    // usually lands on a valid position.  Sanity-check the fuzz saw
+    // both outcomes rather than degenerating.
+    EXPECT_GT(miscorrections, 0);
+    EXPECT_LT(miscorrections, 4000);
 }
 
 TEST(Secded, CheckBitsDifferAcrossData)
