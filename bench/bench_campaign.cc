@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Campaign-driver bench: fleet trial throughput with and without the
+ * sealed-record checkpoint log, the checkpoint overhead that implies,
+ * and an in-process interrupt/resume equality check.
+ *
+ * The digest and every counter are pure functions of the spec -- CI
+ * diffs the JSON across 1-vs-N-thread legs with the "threads" field
+ * and the timing fields (trials_per_sec, ckpt_trials_per_sec,
+ * ckpt_overhead_pct) normalised; everything else must be
+ * bit-identical.
+ *
+ * ARCC_BENCH_CAMPAIGN_CHANNELS overrides the fleet size (default
+ * 8192 channel-lifetimes).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hh"
+#include "campaign/campaign.hh"
+#include "common/table.hh"
+
+using namespace arcc;
+using namespace arcc::bench;
+
+namespace
+{
+
+std::uint64_t
+channelBudget()
+{
+    if (const char *env =
+            std::getenv("ARCC_BENCH_CAMPAIGN_CHANNELS"))
+        return std::max<std::uint64_t>(
+            1, std::strtoull(env, nullptr, 10));
+    return 8192;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+jsonHex(std::uint64_t v)
+{
+    return "\"" + hex(v) + "\"";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    CampaignSpec spec;
+    spec.channels = channelBudget();
+    spec.epochTrials = 512;
+    spec.seed = 20130223; // HPCA 2013.
+
+    printBanner("Fleet campaign driver");
+    std::printf("fleet: %llu channels x %.1f years, boost %.0fx, "
+                "%d-device groups, epoch %llu, config %016llx\n\n",
+                static_cast<unsigned long long>(spec.channels),
+                spec.years, spec.rateBoost, spec.devicesPerGroup,
+                static_cast<unsigned long long>(spec.epochTrials),
+                static_cast<unsigned long long>(spec.configHash()));
+
+    CampaignDriver driver(spec);
+    const std::string ckpt =
+        (std::filesystem::temp_directory_path() /
+         "arcc_bench_campaign.ckpt").string();
+    std::filesystem::remove(ckpt);
+
+    // Leg 1: uninterrupted, no checkpoint.
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignRunResult plain = driver.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Leg 2: same campaign with a sealed record after every epoch.
+    CampaignRunOptions with_ckpt;
+    with_ckpt.checkpointPath = ckpt;
+    auto t2 = std::chrono::steady_clock::now();
+    CampaignRunResult checked = driver.run(with_ckpt);
+    auto t3 = std::chrono::steady_clock::now();
+
+    // Leg 3: interrupt halfway, then resume -- digests must agree
+    // with the uninterrupted run's.
+    std::filesystem::remove(ckpt);
+    CampaignRunOptions half = with_ckpt;
+    half.maxEpochs = (spec.epochCount() + 1) / 2;
+    CampaignRunResult first = driver.run(half);
+    CampaignRunResult resumed = driver.run(with_ckpt);
+    std::filesystem::remove(ckpt);
+
+    const double plain_s = seconds(t0, t1);
+    const double ckpt_s = seconds(t2, t3);
+    const double plain_rate =
+        static_cast<double>(spec.channels) / plain_s;
+    const double ckpt_rate =
+        static_cast<double>(spec.channels) / ckpt_s;
+    const double overhead_pct =
+        (ckpt_s / plain_s - 1.0) * 100.0;
+    const bool digests_agree =
+        plain.digest(spec) == checked.digest(spec) &&
+        plain.digest(spec) == resumed.digest(spec) &&
+        first.interrupted && resumed.resumedFromTrial > 0;
+
+    const CampaignAggregate &agg = plain.aggregate;
+    TextTable table;
+    table.header({"leg", "trials", "epochs", "trials/s",
+                  "digest"});
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.0f", plain_rate);
+    table.row({"plain", std::to_string(agg.trials),
+               std::to_string(plain.epochsRun), rate,
+               hex(plain.digest(spec))});
+    std::snprintf(rate, sizeof rate, "%.0f", ckpt_rate);
+    table.row({"checkpointed", std::to_string(checked.aggregate.trials),
+               std::to_string(checked.epochsRun), rate,
+               hex(checked.digest(spec))});
+    table.row({"kill+resume", std::to_string(resumed.aggregate.trials),
+               std::to_string(first.epochsRun + resumed.epochsRun),
+               "-", hex(resumed.digest(spec))});
+    table.print();
+    std::printf("\ncheckpoint overhead: %.1f%%  resume equality: %s\n",
+                overhead_pct, digests_agree ? "ok" : "MISMATCH");
+
+    jsonRow("campaign",
+            {{"channels", jsonNum(spec.channels)},
+             {"epoch_trials", jsonNum(spec.epochTrials)},
+             {"faults", jsonNum(agg.faultsSampled)},
+             {"trials_with_fault", jsonNum(agg.trialsWithFault)},
+             {"sdc_candidates", jsonNum(agg.sdcCandidates)},
+             {"due_candidates", jsonNum(agg.dueCandidates)},
+             {"affected_mean", jsonNum(agg.meanAffected())},
+             {"affected_p99", jsonNum(agg.affectedHist.quantile(0.99))},
+             {"digest", jsonHex(plain.digest(spec))},
+             {"resume_digest_match",
+              digests_agree ? "true" : "false"},
+             {"trials_per_sec", jsonNum(plain_rate)},
+             {"ckpt_trials_per_sec", jsonNum(ckpt_rate)},
+             {"ckpt_overhead_pct", jsonNum(overhead_pct)}});
+
+    return digests_agree ? 0 : 1;
+}

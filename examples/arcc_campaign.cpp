@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fleet-scale campaign runner with checkpoint/resume.
+ *
+ * Runs a CampaignSpec to completion, sealing a checkpoint record
+ * after every epoch when --checkpoint is given.  SIGTERM / SIGINT
+ * request a graceful stop: the driver finishes the epoch in flight,
+ * seals it, and exits with status 3 so a supervisor knows to re-run
+ * the same command line -- which resumes from the last sealed epoch
+ * and produces a final digest bit-identical to an uninterrupted run
+ * (SIGKILL mid-epoch recovers the same way; the CI smoke test proves
+ * it).
+ *
+ * Usage:
+ *   arcc_campaign [--channels N] [--years Y] [--boost B] [--seed S]
+ *                 [--epoch-trials N] [--group-devices N]
+ *                 [--max-epochs N] [--checkpoint PATH] [--quiet]
+ *
+ * Exit status: 0 campaign complete, 1 bad usage or fatal error,
+ * 3 interrupted by signal (resume by re-running).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "engine/sim_engine.hh"
+
+using namespace arcc;
+
+namespace
+{
+
+/** Set from the signal handler; polled between epochs. */
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--channels N] [--years Y] [--boost B] "
+                 "[--seed S]\n"
+                 "          [--epoch-trials N] [--group-devices N] "
+                 "[--max-epochs N]\n"
+                 "          [--checkpoint PATH] [--quiet]\n",
+                 argv0);
+    std::exit(1);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignSpec spec;
+    spec.channels = 1 << 14;
+    CampaignRunOptions options;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--channels") == 0)
+            spec.channels = std::strtoull(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--years") == 0)
+            spec.years = std::atof(value());
+        else if (std::strcmp(argv[i], "--boost") == 0)
+            spec.rateBoost = std::atof(value());
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            spec.seed = std::strtoull(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--epoch-trials") == 0)
+            spec.epochTrials = std::strtoull(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--group-devices") == 0)
+            spec.devicesPerGroup = std::atoi(value());
+        else if (std::strcmp(argv[i], "--max-epochs") == 0)
+            options.maxEpochs = std::strtoull(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--checkpoint") == 0)
+            options.checkpointPath = value();
+        else if (std::strcmp(argv[i], "--quiet") == 0)
+            quiet = true;
+        else
+            usage(argv[0]);
+    }
+    if (spec.channels == 0 || spec.years <= 0 || spec.rateBoost <= 0)
+        usage(argv[0]);
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    options.stopRequested = [] { return g_stop != 0; };
+
+    CampaignDriver driver(spec);
+    if (!quiet)
+        std::printf("campaign: %llu channels x %.1f years, boost "
+                    "%.0fx, %d-device groups, epoch %llu, config "
+                    "%016llx, %d threads\n",
+                    static_cast<unsigned long long>(spec.channels),
+                    spec.years, spec.rateBoost, spec.devicesPerGroup,
+                    static_cast<unsigned long long>(spec.epochTrials),
+                    static_cast<unsigned long long>(spec.configHash()),
+                    SimEngine::global().threads());
+
+    CampaignRunResult result = driver.run(options);
+    const CampaignAggregate &agg = result.aggregate;
+
+    if (!quiet) {
+        if (result.resumedFromTrial > 0)
+            std::printf("resumed from trial %llu\n",
+                        static_cast<unsigned long long>(
+                            result.resumedFromTrial));
+        std::printf("trials %llu  faults %llu  with-fault %llu  "
+                    "sdc-cand %llu  due-cand %llu\n",
+                    static_cast<unsigned long long>(agg.trials),
+                    static_cast<unsigned long long>(agg.faultsSampled),
+                    static_cast<unsigned long long>(
+                        agg.trialsWithFault),
+                    static_cast<unsigned long long>(
+                        agg.sdcCandidates),
+                    static_cast<unsigned long long>(
+                        agg.dueCandidates));
+        std::printf("affected mean %.6f  p50 %.6f  p99 %.6f  "
+                    "max %.6f\n",
+                    agg.meanAffected(), agg.affectedHist.quantile(0.5),
+                    agg.affectedHist.quantile(0.99),
+                    agg.trials ? agg.affectedHist.max() : 0.0);
+    }
+
+    // The line CI and the resume tests grep: stable digest of the
+    // config, the seed and the full aggregate state.
+    std::printf("campaign_digest %016llx over %llu/%llu trials%s\n",
+                static_cast<unsigned long long>(result.digest(spec)),
+                static_cast<unsigned long long>(agg.trials),
+                static_cast<unsigned long long>(spec.channels),
+                result.interrupted ? " (interrupted)" : "");
+
+    return result.interrupted ? 3 : 0;
+}

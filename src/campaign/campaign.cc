@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Campaign driver implementation.
+ */
+
+#include "campaign/campaign.hh"
+
+#include <bit>
+#include <cmath>
+#include <optional>
+
+#include "campaign/checkpoint.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "engine/sim_engine.hh"
+#include "reliability/sdc_model.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Sketch shapes are part of the campaign format: changing them
+ *  changes every digest, so they are named constants, hashed into
+ *  configHash(), and never run-time options. */
+constexpr std::uint32_t kAffectedBins = 64;
+constexpr std::uint32_t kFaultBins = 64;
+constexpr double kFaultHistHi = 64.0;
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+getU64(const std::uint8_t **cursor, const std::uint8_t *end)
+{
+    if (end - *cursor < 8)
+        fatal("campaign: truncated checkpoint payload (wanted 8 "
+              "bytes, have %td)", end - *cursor);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | (*cursor)[i];
+    *cursor += 8;
+    return v;
+}
+
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    return Rng::mix64(h ^ v);
+}
+
+std::uint64_t
+foldDouble(std::uint64_t h, double v)
+{
+    return fold(h, std::bit_cast<std::uint64_t>(v));
+}
+
+} // anonymous namespace
+
+std::uint64_t
+CampaignSpec::configHash() const
+{
+    std::uint64_t h = 0x43414d5001ULL; // "CAMP" + format version 1.
+    h = fold(h, static_cast<std::uint64_t>(geom.ranks));
+    h = fold(h, static_cast<std::uint64_t>(geom.devicesPerRank));
+    h = fold(h, static_cast<std::uint64_t>(geom.banksPerDevice));
+    h = fold(h, static_cast<std::uint64_t>(geom.pagesPerRow));
+    h = fold(h, geom.pages);
+    for (double fit : rates.fit)
+        h = foldDouble(h, fit);
+    h = foldDouble(h, rateBoost);
+    h = foldDouble(h, years);
+    h = foldDouble(h, scrubHours);
+    h = fold(h, static_cast<std::uint64_t>(devicesPerGroup));
+    h = fold(h, static_cast<std::uint64_t>(rowsPerBank));
+    h = fold(h, static_cast<std::uint64_t>(colsPerBank));
+    h = fold(h, channels);
+    h = fold(h, epochTrials);
+    h = fold(h, shardTrials);
+    h = fold(h, kAffectedBins);
+    h = fold(h, kFaultBins);
+    h = foldDouble(h, kFaultHistHi);
+    return h;
+}
+
+CampaignAggregate
+CampaignAggregate::empty()
+{
+    CampaignAggregate agg;
+    agg.affectedHist = StreamingHistogram(0.0, 1.0, kAffectedBins);
+    agg.faultHist = StreamingHistogram(0.0, kFaultHistHi, kFaultBins);
+    return agg;
+}
+
+void
+CampaignAggregate::merge(const CampaignAggregate &other)
+{
+    trials += other.trials;
+    faultsSampled += other.faultsSampled;
+    trialsWithFault += other.trialsWithFault;
+    sdcCandidates += other.sdcCandidates;
+    dueCandidates += other.dueCandidates;
+    affectedSum += other.affectedSum;
+    affectedHist.merge(other.affectedHist);
+    faultHist.merge(other.faultHist);
+}
+
+std::uint64_t
+CampaignAggregate::hash() const
+{
+    std::uint64_t h = 0x41474752ULL; // "AGGR"
+    h = fold(h, trials);
+    h = fold(h, faultsSampled);
+    h = fold(h, trialsWithFault);
+    h = fold(h, sdcCandidates);
+    h = fold(h, dueCandidates);
+    h = foldDouble(h, affectedSum);
+    h = fold(h, affectedHist.hash());
+    h = fold(h, faultHist.hash());
+    return h;
+}
+
+void
+CampaignAggregate::serializeTo(std::vector<std::uint8_t> &out) const
+{
+    putU64(out, trials);
+    putU64(out, faultsSampled);
+    putU64(out, trialsWithFault);
+    putU64(out, sdcCandidates);
+    putU64(out, dueCandidates);
+    putU64(out, std::bit_cast<std::uint64_t>(affectedSum));
+    affectedHist.serializeTo(out);
+    faultHist.serializeTo(out);
+}
+
+CampaignAggregate
+CampaignAggregate::deserializeFrom(const std::uint8_t **cursor,
+                                   const std::uint8_t *end)
+{
+    CampaignAggregate agg;
+    agg.trials = getU64(cursor, end);
+    agg.faultsSampled = getU64(cursor, end);
+    agg.trialsWithFault = getU64(cursor, end);
+    agg.sdcCandidates = getU64(cursor, end);
+    agg.dueCandidates = getU64(cursor, end);
+    agg.affectedSum = std::bit_cast<double>(getU64(cursor, end));
+    agg.affectedHist = StreamingHistogram::deserializeFrom(cursor, end);
+    agg.faultHist = StreamingHistogram::deserializeFrom(cursor, end);
+    return agg;
+}
+
+std::uint64_t
+CampaignRunResult::digest(const CampaignSpec &spec) const
+{
+    std::uint64_t h = 0x43414d50ULL; // "CAMP"
+    h = fold(h, spec.configHash());
+    h = fold(h, spec.seed);
+    h = fold(h, aggregate.hash());
+    return h;
+}
+
+CampaignDriver::CampaignDriver(const CampaignSpec &spec,
+                               SimEngine *engine)
+    : spec_(spec), engine_(engine ? engine : &SimEngine::global())
+{
+    if (spec_.channels == 0)
+        fatal("CampaignDriver: zero channels");
+    if (spec_.epochTrials == 0)
+        fatal("CampaignDriver: zero epochTrials");
+    if (spec_.shardTrials == 0)
+        fatal("CampaignDriver: zero shardTrials");
+    if (spec_.years <= 0.0 || spec_.scrubHours <= 0.0)
+        fatal("CampaignDriver: non-positive horizon or scrub period");
+    if (spec_.devicesPerGroup <= 0 ||
+        spec_.geom.totalDevices() % spec_.devicesPerGroup != 0)
+        fatal("CampaignDriver: %d devices per group does not divide "
+              "the channel's %d devices",
+              spec_.devicesPerGroup, spec_.geom.totalDevices());
+}
+
+CampaignAggregate
+CampaignDriver::runTrials(std::uint64_t begin, std::uint64_t end) const
+{
+    CampaignAggregate agg = CampaignAggregate::empty();
+    const double hours = spec_.years * kHoursPerYear;
+    const int groups =
+        spec_.geom.totalDevices() / spec_.devicesPerGroup;
+    FaultSampler sampler(spec_.geom,
+                         spec_.rates.scaled(spec_.rateBoost));
+
+    std::vector<ConcreteFault> faults;
+    for (std::uint64_t trial = begin; trial < end; ++trial) {
+        // The whole trial is a pure function of (seed, trial): the
+        // lifetime draws and the codeword-footprint draws come from
+        // one stream in a fixed order.
+        Rng trng = Rng::stream(spec_.seed, trial);
+        auto events = sampler.sampleLifetime(hours, trng);
+
+        // Concretise each fault's codeword footprint (group, device
+        // within group, row, column); the bank rides along from the
+        // lifetime sample.  Events are time-sorted, so the concrete
+        // list is too.
+        faults.clear();
+        AffectedTracker tracker(spec_.geom);
+        for (const FaultEvent &e : events) {
+            ConcreteFault f;
+            f.timeHours = e.timeHours;
+            f.type = e.type;
+            f.group = static_cast<int>(trng.below(groups));
+            f.device =
+                static_cast<int>(trng.below(spec_.devicesPerGroup));
+            f.bank = e.bank;
+            f.row = static_cast<int>(trng.below(spec_.rowsPerBank));
+            f.col = static_cast<int>(trng.below(spec_.colsPerBank));
+            faults.push_back(f);
+            tracker.apply(e);
+        }
+
+        // Overlap scans, via the same kernel as the SDC model's
+        // validation Monte Carlo.  DUE candidates are overlapping
+        // pairs at any separation; SDC candidates additionally need
+        // the second fault inside the first's scrub-detection window.
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            const double detect =
+                (std::floor(faults[i].timeHours / spec_.scrubHours) +
+                 1.0) *
+                spec_.scrubHours;
+            for (std::size_t j = i + 1; j < faults.size(); ++j) {
+                if (!faultsOverlap(faults[i], faults[j]))
+                    continue;
+                ++agg.dueCandidates;
+                if (faults[j].timeHours < detect)
+                    ++agg.sdcCandidates;
+            }
+        }
+
+        const double frac = tracker.fraction();
+        ++agg.trials;
+        agg.faultsSampled += faults.size();
+        if (!faults.empty())
+            ++agg.trialsWithFault;
+        agg.affectedSum += frac;
+        agg.affectedHist.add(frac);
+        agg.faultHist.add(static_cast<double>(faults.size()));
+    }
+    return agg;
+}
+
+CampaignAggregate
+CampaignDriver::runEpoch(std::uint64_t begin, std::uint64_t end) const
+{
+    ARCC_ASSERT(begin < end);
+    return engine_->reduceShards(
+        end - begin, spec_.shardTrials,
+        [&](const ShardRange &shard) {
+            return runTrials(begin + shard.begin, begin + shard.end);
+        },
+        [](std::vector<CampaignAggregate> &&partials) {
+            CampaignAggregate total = CampaignAggregate::empty();
+            for (const CampaignAggregate &p : partials)
+                total.merge(p);
+            return total;
+        });
+}
+
+CampaignRunResult
+CampaignDriver::run(const CampaignRunOptions &options) const
+{
+    CampaignRunResult result;
+    result.aggregate = CampaignAggregate::empty();
+    std::uint64_t cursor = 0;
+    std::uint64_t next_epoch = 0;
+
+    std::optional<CheckpointWriter> writer;
+    if (!options.checkpointPath.empty()) {
+        const CheckpointIdentity identity{spec_.configHash(),
+                                          spec_.seed};
+        // The monotonicity check: sealed records must be exactly
+        // epochs 0, 1, 2, ... with the cursor this spec's epoch
+        // layout dictates.  A duplicated, reordered or re-laid-out
+        // record means the log was not written by this campaign
+        // resumed cleanly, and no state derived from it is safe.
+        std::uint64_t expect_epoch = 0;
+        const CheckpointRecovery recovery = recoverCheckpoint(
+            options.checkpointPath, identity,
+            [&](std::span<const std::uint8_t> payload) {
+                const std::uint8_t *cur = payload.data();
+                const std::uint8_t *end =
+                    payload.data() + payload.size();
+                const std::uint64_t epoch = getU64(&cur, end);
+                const std::uint64_t next = getU64(&cur, end);
+                if (epoch != expect_epoch)
+                    fatal("campaign checkpoint '%s': record %llu "
+                          "names epoch %llu (duplicated or reordered "
+                          "records); refusing to resume",
+                          options.checkpointPath.c_str(),
+                          static_cast<unsigned long long>(
+                              expect_epoch),
+                          static_cast<unsigned long long>(epoch));
+                if (next != spec_.epochEnd(epoch))
+                    fatal("campaign checkpoint '%s': epoch %llu ends "
+                          "at trial %llu but this spec's layout says "
+                          "%llu (epochTrials changed?); refusing to "
+                          "resume",
+                          options.checkpointPath.c_str(),
+                          static_cast<unsigned long long>(epoch),
+                          static_cast<unsigned long long>(next),
+                          static_cast<unsigned long long>(
+                              spec_.epochEnd(epoch)));
+                ++expect_epoch;
+            });
+
+        if (recovery.records > 0) {
+            const std::uint8_t *cur = recovery.lastPayload.data();
+            const std::uint8_t *end =
+                cur + recovery.lastPayload.size();
+            const std::uint64_t epoch = getU64(&cur, end);
+            cursor = getU64(&cur, end);
+            result.aggregate =
+                CampaignAggregate::deserializeFrom(&cur, end);
+            if (result.aggregate.trials != cursor)
+                fatal("campaign checkpoint '%s': aggregate covers "
+                      "%llu trials but the cursor says %llu; "
+                      "refusing to resume",
+                      options.checkpointPath.c_str(),
+                      static_cast<unsigned long long>(
+                          result.aggregate.trials),
+                      static_cast<unsigned long long>(cursor));
+            next_epoch = epoch + 1;
+            result.resumedFromTrial = cursor;
+        }
+        writer.emplace(
+            CheckpointWriter::resume(options.checkpointPath,
+                                     recovery));
+    }
+
+    while (cursor < spec_.channels) {
+        if (options.stopRequested && options.stopRequested()) {
+            result.interrupted = true;
+            break;
+        }
+        const std::uint64_t end = spec_.epochEnd(next_epoch);
+        CampaignAggregate partial = runEpoch(cursor, end);
+        result.aggregate.merge(partial);
+        cursor = end;
+
+        if (writer) {
+            std::vector<std::uint8_t> payload;
+            putU64(payload, next_epoch);
+            putU64(payload, cursor);
+            result.aggregate.serializeTo(payload);
+            writer->append(payload);
+        }
+        ++next_epoch;
+        ++result.epochsRun;
+        if (options.maxEpochs != 0 &&
+            result.epochsRun >= options.maxEpochs &&
+            cursor < spec_.channels) {
+            result.interrupted = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace arcc

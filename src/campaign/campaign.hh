@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Fleet-scale Monte Carlo campaign driver, hardened against
+ * interruption.
+ *
+ * A *campaign* is the full reliability experiment the smaller Monte
+ * Carlos validate in miniature: N memory channels, each simulated for
+ * a whole deployment horizon under boosted field-study fault rates,
+ * with the codeword grouping of the codec under test (18 devices per
+ * relaxed ARCC codeword, 36 for the commercial lockstep baseline).
+ * Fleets of interest run millions of channel-lifetimes, which is
+ * hours of compute -- long enough that preemption, OOM kills and
+ * power loss are expected events, not exceptional ones.  The driver
+ * is therefore built around three invariants:
+ *
+ *  1. **Deterministic decomposition.**  Trial t (channel t's
+ *     lifetime) draws its generator from Rng::stream(seed, t), a pure
+ *     function of the trial index, and trials are executed through
+ *     SimEngine::reduceShards in *fixed-size epochs*.  Shard and
+ *     epoch boundaries depend only on the spec, never on the thread
+ *     count or on where a previous run stopped.
+ *
+ *  2. **O(1) aggregate state.**  The running result is a
+ *     CampaignAggregate: integer counters plus StreamingHistogram
+ *     sketches (common/sketch.hh).  It merges exactly (integer
+ *     counts; doubles folded in fixed epoch/shard order), serialises
+ *     to a small blob, and digests to a stable hash() -- the value CI
+ *     pins across thread counts and kill/resume runs.
+ *
+ *  3. **Crash-safe progress.**  After every epoch the driver seals
+ *     one checkpoint record (campaign/checkpoint.hh): the epoch
+ *     index, the next-trial cursor and the full serialized aggregate.
+ *     Because the record carries *state*, not a delta, resuming needs
+ *     only the last sealed record; because epochs are fixed-size, a
+ *     resumed run folds the identical partials in the identical
+ *     order and its final digest is bit-identical to an
+ *     uninterrupted run's.
+ *
+ * The RNG bookkeeping in a checkpoint is just the cursor: stream
+ * generators make "where was the RNG?" a non-question, which is the
+ * reason the sampler API was built on Rng::stream in the first
+ * place.
+ */
+
+#ifndef ARCC_CAMPAIGN_CAMPAIGN_HH
+#define ARCC_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sketch.hh"
+#include "faults/fault_model.hh"
+
+namespace arcc
+{
+
+class SimEngine;
+
+/** Everything that identifies a campaign (hashed into configHash). */
+struct CampaignSpec
+{
+    /** Per-channel geometry (the unit one trial simulates). */
+    DomainGeometry geom;
+    /** Base per-device FIT rates. */
+    FaultRates rates = FaultRates::fieldStudy();
+    /** Uniform rate boost making events observable in feasible
+     *  trials (the validation-MC convention). */
+    double rateBoost = 100.0;
+    /** Deployment horizon per channel. */
+    double years = 5.0;
+    /** Scrub period bounding the ARCC-DED exposure window. */
+    double scrubHours = 4.0;
+    /** Codec grouping: devices per codeword group (18 = ARCC relaxed
+     *  codeword, 36 = commercial lockstep); must divide the channel's
+     *  device count. */
+    int devicesPerGroup = 18;
+    /** Footprint geometry for the overlap kernel. */
+    int rowsPerBank = 8192;
+    int colsPerBank = 1024;
+
+    /** Fleet size: total trials (channel-lifetimes). */
+    std::uint64_t channels = 1 << 16;
+    /** Campaign seed (selects every Rng::stream). */
+    std::uint64_t seed = 1;
+    /** Trials per epoch: the checkpoint granularity.  Fixed epoch
+     *  boundaries are what make resume bit-identical. */
+    std::uint64_t epochTrials = 4096;
+    /** Trials per engine shard within an epoch. */
+    std::uint64_t shardTrials = 64;
+
+    /**
+     * Stable digest of every field above *except the seed* (the seed
+     * is carried separately in the checkpoint identity).  Stamped
+     * into checkpoint headers and bench rows so a resumed run can
+     * prove it is the same experiment.
+     */
+    std::uint64_t configHash() const;
+
+    /** Epochs this spec decomposes into (last one may be short). */
+    std::uint64_t
+    epochCount() const
+    {
+        return (channels + epochTrials - 1) / epochTrials;
+    }
+
+    /** End-of-epoch trial cursor for epoch `e`. */
+    std::uint64_t
+    epochEnd(std::uint64_t e) const
+    {
+        std::uint64_t end = (e + 1) * epochTrials;
+        return end < channels ? end : channels;
+    }
+};
+
+/**
+ * The campaign's O(1) running state: what one trial's outcome folds
+ * into, what an epoch checkpoint serialises, and what the digest
+ * covers.  All merges are exact or fixed-order, so any shard/epoch
+ * decomposition of the same trial set yields bit-identical state.
+ */
+struct CampaignAggregate
+{
+    std::uint64_t trials = 0;
+    /** Concrete faults sampled over all trials. */
+    std::uint64_t faultsSampled = 0;
+    /** Trials that saw at least one fault. */
+    std::uint64_t trialsWithFault = 0;
+    /** ARCC-DED SDC candidates: overlapping pairs inside the first
+     *  fault's scrub-detection window. */
+    std::uint64_t sdcCandidates = 0;
+    /** DUE candidates: overlapping pairs regardless of window. */
+    std::uint64_t dueCandidates = 0;
+    /** Sum over trials of the end-of-life affected-page fraction. */
+    double affectedSum = 0.0;
+    /** Distribution of the end-of-life affected fraction in [0, 1). */
+    StreamingHistogram affectedHist;
+    /** Distribution of per-trial fault counts in [0, 64). */
+    StreamingHistogram faultHist;
+
+    /** Aggregate with the campaign's fixed sketch shapes. */
+    static CampaignAggregate empty();
+
+    /** Fold another aggregate in (shard/epoch-order merge). */
+    void merge(const CampaignAggregate &other);
+
+    /** Mean affected fraction (0 when no trials ran). */
+    double
+    meanAffected() const
+    {
+        return trials ? affectedSum / static_cast<double>(trials) : 0.0;
+    }
+
+    /** Stable digest over every counter and both sketches. */
+    std::uint64_t hash() const;
+
+    /** Append the aggregate as a little-endian blob. */
+    void serializeTo(std::vector<std::uint8_t> &out) const;
+
+    /** Decode from `[*cursor, end)`, advancing the cursor.  fatal()
+     *  on truncation (payloads are CRC-checked before this). */
+    static CampaignAggregate
+    deserializeFrom(const std::uint8_t **cursor,
+                    const std::uint8_t *end);
+};
+
+/** Outcome of CampaignDriver::run. */
+struct CampaignRunResult
+{
+    CampaignAggregate aggregate;
+    /** Epochs executed by *this* run (not counting resumed ones). */
+    std::uint64_t epochsRun = 0;
+    /** Trial cursor the run started from (> 0 = resumed). */
+    std::uint64_t resumedFromTrial = 0;
+    /** True when stopRequested ended the run before the last epoch. */
+    bool interrupted = false;
+
+    /** The campaign digest: config hash x seed x aggregate state.
+     *  Bit-identical across thread counts and kill/resume splits. */
+    std::uint64_t digest(const CampaignSpec &spec) const;
+};
+
+/** Knobs for one run() invocation (not part of the config hash). */
+struct CampaignRunOptions
+{
+    /** Checkpoint log path; empty runs without checkpointing. */
+    std::string checkpointPath;
+    /** Polled between epochs; true => seal the current state and
+     *  return with interrupted = true (the SIGTERM path). */
+    std::function<bool()> stopRequested;
+    /** Stop after this many epochs (0 = no limit); used by tests to
+     *  fabricate interrupted runs deterministically. */
+    std::uint64_t maxEpochs = 0;
+};
+
+/**
+ * Executes a CampaignSpec through a SimEngine, epoch by epoch, with
+ * optional checkpoint/resume.  See the file comment for the
+ * determinism and crash-safety contract; tests/test_campaign.cc and
+ * tests/test_determinism.cc enforce it.
+ */
+class CampaignDriver
+{
+  public:
+    /** nullptr engine = SimEngine::global(). */
+    explicit CampaignDriver(const CampaignSpec &spec,
+                            SimEngine *engine = nullptr);
+
+    /**
+     * Run (or resume) the campaign.  If options.checkpointPath names
+     * an existing log, it is recovered first: a torn tail is
+     * truncated, a sealed prefix resumes from its last epoch, and a
+     * corrupt or foreign file is fatal (never overwritten).
+     */
+    CampaignRunResult run(const CampaignRunOptions &options = {}) const;
+
+    /**
+     * The deterministic kernel: aggregate trials [begin, end) run
+     * serially on the calling thread.  Exposed so tests can compare
+     * any sharded/resumed decomposition against one serial pass.
+     */
+    CampaignAggregate runTrials(std::uint64_t begin,
+                                std::uint64_t end) const;
+
+    const CampaignSpec &spec() const { return spec_; }
+
+  private:
+    /** One epoch [begin, end) through the engine's shard-reduce. */
+    CampaignAggregate runEpoch(std::uint64_t begin,
+                               std::uint64_t end) const;
+
+    CampaignSpec spec_;
+    SimEngine *engine_;
+};
+
+} // namespace arcc
+
+#endif // ARCC_CAMPAIGN_CAMPAIGN_HH

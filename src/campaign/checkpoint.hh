@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Crash-safe append-only checkpoint log for the campaign driver.
+ *
+ * On-disk layout (everything little-endian):
+ *
+ *     file   := header-frame epoch-frame*
+ *     frame  := u32 payload-length | u32 crc32c(payload) | payload
+ *
+ *     header payload := "ARCCCKP1" magic (8 bytes)
+ *                     | u32 format version
+ *                     | u64 campaign config hash
+ *                     | u64 campaign seed
+ *
+ *     epoch payload  := opaque bytes owned by the campaign layer
+ *                       (epoch index, next-trial cursor, serialized
+ *                       aggregate -- see campaign.hh)
+ *
+ * Write discipline: every frame is appended with one fwrite, then
+ * fflush + fsync before append() returns ("sealed-record append").  A
+ * crash -- including SIGKILL -- can therefore leave at most one torn
+ * frame, and only at the tail of the file.
+ *
+ * Recovery policy (recoverCheckpoint), the part the fault-injection
+ * suite in tests/test_checkpoint.cc pins:
+ *
+ *  - a frame that fails its CRC or runs past EOF *at the tail* is a
+ *    torn write: it is reported, never trusted, and truncated away on
+ *    resume, landing the campaign on the last sealed epoch;
+ *  - an invalid frame with more data *after* it cannot be a torn
+ *    append -- it is corruption, and recovery refuses (fatal) rather
+ *    than resume from any state derived from it;
+ *  - a header that is valid framing but wrong magic / version /
+ *    config hash / seed is somebody else's file or another campaign's
+ *    checkpoint: fatal, never overwritten;
+ *  - a file shorter than a complete header frame can only be a crash
+ *    during creation (the header is the first sealed append): it is
+ *    treated as "no checkpoint yet".
+ *
+ * The epoch payloads themselves are opaque here; the campaign layer
+ * validates their monotonicity (strictly advancing epoch index and
+ * cursor) and fatals on duplicated or reordered records, so a CRC
+ * collision can never smuggle a stale epoch back in.
+ */
+
+#ifndef ARCC_CAMPAIGN_CHECKPOINT_HH
+#define ARCC_CAMPAIGN_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arcc
+{
+
+/** Magic bytes opening a checkpoint header payload. */
+inline constexpr char kCheckpointMagic[8] = {'A', 'R', 'C', 'C',
+                                             'C', 'K', 'P', '1'};
+/** Checkpoint format version (bumped on any layout change). */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+/** Bytes of frame overhead (length + CRC words). */
+inline constexpr std::size_t kFrameOverheadBytes = 8;
+/** Serialized header payload size. */
+inline constexpr std::size_t kHeaderPayloadBytes = 8 + 4 + 8 + 8;
+
+/** Identity a checkpoint file is bound to. */
+struct CheckpointIdentity
+{
+    /** CampaignSpec::configHash() of the owning campaign. */
+    std::uint64_t configHash = 0;
+    /** Campaign seed (redundant with the hash; kept readable in the
+     *  file so a hexdump identifies the experiment). */
+    std::uint64_t seed = 0;
+};
+
+/** What a scan of an existing checkpoint file found. */
+struct CheckpointRecovery
+{
+    CheckpointIdentity identity;
+    /** Sealed epoch records found (0 = header only). */
+    std::uint64_t records = 0;
+    /** Payload of the last sealed record (empty when records == 0). */
+    std::vector<std::uint8_t> lastPayload;
+    /** File offset one past the last sealed frame. */
+    std::uint64_t validBytes = 0;
+    /** Torn trailing bytes that will be truncated on resume. */
+    std::uint64_t tornBytes = 0;
+    /** True when the file was absent or a torn header stub. */
+    bool fresh = false;
+};
+
+/**
+ * Scan `path` and locate the last sealed record under the recovery
+ * policy above.  `onRecord`, when given, receives every sealed epoch
+ * payload in file order (the campaign layer's monotonicity check).
+ * fatal() on corruption that truncation cannot explain, on an
+ * identity mismatch, or on an unreadable file; a missing file or a
+ * sub-header stub returns `.fresh = true`.
+ */
+CheckpointRecovery
+recoverCheckpoint(const std::string &path,
+                  const CheckpointIdentity &expected,
+                  const std::function<void(
+                      std::span<const std::uint8_t>)> &onRecord = {});
+
+/**
+ * Appender for a checkpoint log.  Obtain via create() (fresh file,
+ * header sealed before the constructor returns) or resume() (after
+ * recoverCheckpoint; truncates torn bytes).  Every append is sealed
+ * -- framed, flushed and fsynced -- before it returns.
+ */
+class CheckpointWriter
+{
+  public:
+    /** Create or overwrite `path` with a fresh sealed header. */
+    static CheckpointWriter create(const std::string &path,
+                                   const CheckpointIdentity &identity);
+
+    /**
+     * Reopen `path` for appending after recovery, truncating the
+     * torn tail (if any) first.
+     */
+    static CheckpointWriter resume(const std::string &path,
+                                   const CheckpointRecovery &recovery);
+
+    /** Seal one epoch record (frame + flush + fsync). */
+    void append(std::span<const std::uint8_t> payload);
+
+    ~CheckpointWriter();
+    CheckpointWriter(CheckpointWriter &&other) noexcept;
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(CheckpointWriter &&) = delete;
+
+  private:
+    CheckpointWriter(std::string path, std::FILE *file);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace arcc
+
+#endif // ARCC_CAMPAIGN_CHECKPOINT_HH

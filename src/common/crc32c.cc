@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Slice-by-4 CRC-32C implementation.
+ */
+
+#include "common/crc32c.hh"
+
+#include <array>
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Reflected Castagnoli polynomial. */
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+/**
+ * The four slice tables.  table[0] is the classic byte-at-a-time
+ * table; table[k][b] extends it by k extra zero bytes, which is what
+ * lets the hot loop fold 4 message bytes into the state with four
+ * independent lookups.
+ */
+struct Tables
+{
+    std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+    Tables()
+    {
+        for (std::uint32_t b = 0; b < 256; ++b) {
+            std::uint32_t crc = b;
+            for (int i = 0; i < 8; ++i)
+                crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+            t[0][b] = crc;
+        }
+        for (std::uint32_t b = 0; b < 256; ++b)
+            for (int k = 1; k < 4; ++k)
+                t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xff];
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // anonymous namespace
+
+void
+Crc32c::update(std::span<const std::uint8_t> bytes)
+{
+    const Tables &tab = tables();
+    std::uint32_t crc = state_;
+    std::size_t i = 0;
+
+    for (; i + 4 <= bytes.size(); i += 4) {
+        crc ^= static_cast<std::uint32_t>(bytes[i]) |
+               (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+               (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+               (static_cast<std::uint32_t>(bytes[i + 3]) << 24);
+        crc = tab.t[3][crc & 0xff] ^ tab.t[2][(crc >> 8) & 0xff] ^
+              tab.t[1][(crc >> 16) & 0xff] ^ tab.t[0][crc >> 24];
+    }
+    for (; i < bytes.size(); ++i)
+        crc = (crc >> 8) ^ tab.t[0][(crc ^ bytes[i]) & 0xff];
+
+    state_ = crc;
+}
+
+} // namespace arcc

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * StreamingHistogram implementation.
+ */
+
+#include "common/sketch.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Shape ceiling: a checkpoint-decoded bin count above this is a
+ *  format bug, not a real sketch. */
+constexpr std::uint32_t kMaxBins = 1u << 20;
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t
+getU32(const std::uint8_t **cursor, const std::uint8_t *end)
+{
+    if (end - *cursor < 4)
+        fatal("StreamingHistogram: truncated blob (wanted 4 bytes, "
+              "have %td)", end - *cursor);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | (*cursor)[i];
+    *cursor += 4;
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t **cursor, const std::uint8_t *end)
+{
+    if (end - *cursor < 8)
+        fatal("StreamingHistogram: truncated blob (wanted 8 bytes, "
+              "have %td)", end - *cursor);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | (*cursor)[i];
+    *cursor += 8;
+    return v;
+}
+
+double
+getDouble(const std::uint8_t **cursor, const std::uint8_t *end)
+{
+    return std::bit_cast<double>(getU64(cursor, end));
+}
+
+} // anonymous namespace
+
+StreamingHistogram::StreamingHistogram(double lo, double hi,
+                                       std::uint32_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(lo < hi))
+        fatal("StreamingHistogram: degenerate range [%g, %g)", lo, hi);
+    if (bins == 0 || bins > kMaxBins)
+        fatal("StreamingHistogram: bad bin count %u", bins);
+}
+
+void
+StreamingHistogram::add(double x)
+{
+    if (std::isnan(x))
+        fatal("StreamingHistogram: NaN sample");
+    ARCC_ASSERT(!counts_.empty());
+    if (x < lo_) {
+        ++under_;
+    } else if (x >= hi_) {
+        ++over_;
+    } else {
+        double t = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<std::size_t>(
+            t * static_cast<double>(counts_.size()));
+        ++counts_[std::min(idx, counts_.size() - 1)];
+    }
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+void
+StreamingHistogram::merge(const StreamingHistogram &other)
+{
+    if (other.counts_.empty())
+        return;
+    if (counts_.empty()) {
+        *this = other;
+        return;
+    }
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size())
+        fatal("StreamingHistogram: merging mismatched shapes "
+              "([%g, %g) x %zu vs [%g, %g) x %zu)",
+              lo_, hi_, counts_.size(), other.lo_, other.hi_,
+              other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    under_ += other.under_;
+    over_ += other.over_;
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+StreamingHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The endpoints are tracked exactly; only interior quantiles pay
+    // the one-bin-width interpolation error.
+    if (q == 0.0)
+        return min_;
+    if (q == 1.0)
+        return max_;
+    // The 1-based rank of the sample the quantile names.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+
+    std::uint64_t seen = under_;
+    if (rank <= seen)
+        return min_; // landed among the below-range samples.
+    const double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (rank <= seen + counts_[i]) {
+            const double frac =
+                (static_cast<double>(rank - seen) - 0.5) /
+                static_cast<double>(counts_[i]);
+            const double v =
+                lo_ + (static_cast<double>(i) + frac) * width;
+            return std::clamp(v, min_, max_);
+        }
+        seen += counts_[i];
+    }
+    return max_; // landed among the above-range samples.
+}
+
+std::uint64_t
+StreamingHistogram::hash() const
+{
+    auto fold = [](std::uint64_t h, std::uint64_t v) {
+        return Rng::mix64(h ^ v);
+    };
+    std::uint64_t h = 0x534b4554ULL; // "SKET"
+    h = fold(h, std::bit_cast<std::uint64_t>(lo_));
+    h = fold(h, std::bit_cast<std::uint64_t>(hi_));
+    h = fold(h, counts_.size());
+    for (std::uint64_t c : counts_)
+        h = fold(h, c);
+    h = fold(h, under_);
+    h = fold(h, over_);
+    h = fold(h, count_);
+    h = fold(h, std::bit_cast<std::uint64_t>(sum_));
+    h = fold(h, std::bit_cast<std::uint64_t>(min_));
+    h = fold(h, std::bit_cast<std::uint64_t>(max_));
+    return h;
+}
+
+void
+StreamingHistogram::serializeTo(std::vector<std::uint8_t> &out) const
+{
+    putU32(out, static_cast<std::uint32_t>(counts_.size()));
+    putDouble(out, lo_);
+    putDouble(out, hi_);
+    for (std::uint64_t c : counts_)
+        putU64(out, c);
+    putU64(out, under_);
+    putU64(out, over_);
+    putU64(out, count_);
+    putDouble(out, sum_);
+    putDouble(out, min_);
+    putDouble(out, max_);
+}
+
+StreamingHistogram
+StreamingHistogram::deserializeFrom(const std::uint8_t **cursor,
+                                    const std::uint8_t *end)
+{
+    const std::uint32_t bins = getU32(cursor, end);
+    if (bins == 0 || bins > kMaxBins)
+        fatal("StreamingHistogram: blob names %u bins", bins);
+    const double lo = getDouble(cursor, end);
+    const double hi = getDouble(cursor, end);
+    StreamingHistogram h(lo, hi, bins);
+    for (std::uint32_t i = 0; i < bins; ++i)
+        h.counts_[i] = getU64(cursor, end);
+    h.under_ = getU64(cursor, end);
+    h.over_ = getU64(cursor, end);
+    h.count_ = getU64(cursor, end);
+    h.sum_ = getDouble(cursor, end);
+    h.min_ = getDouble(cursor, end);
+    h.max_ = getDouble(cursor, end);
+    return h;
+}
+
+} // namespace arcc

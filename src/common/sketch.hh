@@ -1,0 +1,122 @@
+/**
+ * @file
+ * StreamingHistogram: a mergeable fixed-bin percentile sketch for
+ * fleet-scale aggregation.
+ *
+ * The campaign driver simulates millions of trials but must hold its
+ * aggregate state in O(1) memory and serialise it into a checkpoint
+ * record, so the per-trial metric distributions are kept as fixed-bin
+ * histograms rather than sample lists:
+ *
+ *  - counts are 64-bit integers, so merging two sketches is exact and
+ *    order-independent -- the property that lets shard partials fold
+ *    in shard order with bit-identical results at any thread count
+ *    (a P^2 quantile estimator, by contrast, is not mergeable and was
+ *    rejected for exactly that reason);
+ *  - min / max / sum are tracked exactly alongside the bins, so mean
+ *    and extremes carry no quantisation error (the sum is a double
+ *    whose value depends only on the fixed shard / epoch fold order);
+ *  - quantile() interpolates inside the landing bin, so its error is
+ *    bounded by one bin width over [lo, hi); samples outside the
+ *    range are counted in saturating under/overflow bins and clamp to
+ *    the exact min / max.
+ *
+ * The sketch serialises to a self-describing little-endian blob
+ * (shape + counters) for the checkpoint log, and hashes into the
+ * campaign digest; both are pinned by tests/test_sketch.cc.
+ */
+
+#ifndef ARCC_COMMON_SKETCH_HH
+#define ARCC_COMMON_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace arcc
+{
+
+class StreamingHistogram
+{
+  public:
+    /** An empty, shapeless sketch (only deserialize/merge targets). */
+    StreamingHistogram() = default;
+
+    /**
+     * Sketch over [lo, hi) with `bins` equal-width bins plus the
+     * under/overflow bins.  fatal() on a degenerate range or zero
+     * bins.
+     */
+    StreamingHistogram(double lo, double hi, std::uint32_t bins);
+
+    /** Add one sample.  fatal() on NaN (a corrupt metric must never
+     *  be silently absorbed into a checkpointed aggregate). */
+    void add(double x);
+
+    /**
+     * Fold another sketch of the *same shape* into this one (exact:
+     * integer counts, exact min/max, summed sums).  A default-
+     * constructed target adopts the other's shape.  fatal() on a
+     * shape mismatch.
+     */
+    void merge(const StreamingHistogram &other);
+
+    /** Total samples (including under/overflow). */
+    std::uint64_t count() const { return count_; }
+
+    /** Exact sample mean (0 when empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Exact sum / extremes. */
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * Quantile estimate for q in [0, 1]: linear interpolation inside
+     * the landing bin, clamped to the exact [min, max]; q = 0 and
+     * q = 1 return the exact extremes.  0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Shape accessors. */
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    std::uint32_t bins() const
+    {
+        return static_cast<std::uint32_t>(counts_.size());
+    }
+    std::uint64_t binCount(std::uint32_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return under_; }
+    std::uint64_t overflow() const { return over_; }
+
+    /** Order-sensitive digest of shape and every counter. */
+    std::uint64_t hash() const;
+
+    /** Append the sketch as a self-describing blob. */
+    void serializeTo(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Decode a sketch from `[*cursor, end)`, advancing *cursor past
+     * it.  fatal() on truncation or an absurd shape -- checkpoint
+     * payloads are CRC-validated before they get here, so a decode
+     * failure means a format bug, not line noise.
+     */
+    static StreamingHistogram
+    deserializeFrom(const std::uint8_t **cursor,
+                    const std::uint8_t *end);
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t under_ = 0;
+    std::uint64_t over_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace arcc
+
+#endif // ARCC_COMMON_SKETCH_HH

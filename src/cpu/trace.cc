@@ -228,7 +228,8 @@ binaryTraceToText(std::istream &bin, std::ostream &text)
             break;
         if (got != static_cast<std::streamsize>(sizeof rec))
             fatal("binary trace: truncated record after %llu accesses "
-                  "(%lld trailing bytes)",
+                  "(%lld trailing bytes -- a torn final write?); "
+                  "refusing to emit a partial record",
                   static_cast<unsigned long long>(writer.count()),
                   static_cast<long long>(got));
         writer.append(decodeRecord(rec));
@@ -329,9 +330,13 @@ TraceStream::TraceStream(std::string path, std::size_t chunkRecords)
         static_cast<std::uint64_t>(size) - sizeof kTraceMagic;
     if (payload % kTraceRecordBytes != 0)
         fatal("trace file '%s' is truncated: %llu payload bytes is "
-              "not a whole number of %zu-byte records",
+              "not a whole number of %zu-byte records (%llu trailing "
+              "bytes -- a torn final write?); refusing to replay a "
+              "partial record",
               path_.c_str(), static_cast<unsigned long long>(payload),
-              kTraceRecordBytes);
+              kTraceRecordBytes,
+              static_cast<unsigned long long>(payload %
+                                              kTraceRecordBytes));
     records_ = payload / kTraceRecordBytes;
     if (records_ == 0)
         fatal("trace file '%s' contains no accesses", path_.c_str());

@@ -18,86 +18,8 @@ namespace arcc
 namespace
 {
 
-/**
- * Exact union tracker for the worst-case page footprint of big faults:
- * the domain is a grid of (rank, bank, half) cells, each covering
- * 1 / (ranks * banks * 2) of the pages; small faults (row/word/bit)
- * add their handful of pages additively (overlap with cells is
- * negligible and ignored).
- */
-class AffectedTracker
-{
-  public:
-    explicit AffectedTracker(const DomainGeometry &geom)
-        : geom_(geom),
-          cells_(static_cast<std::size_t>(geom.ranks) *
-                     geom.banksPerDevice * 2,
-                 false)
-    {
-    }
-
-    void
-    apply(const FaultEvent &e)
-    {
-        switch (e.type) {
-          case FaultType::Lane:
-            for (std::size_t i = 0; i < cells_.size(); ++i)
-                markCell(i);
-            break;
-          case FaultType::Device:
-            for (int b = 0; b < geom_.banksPerDevice; ++b)
-                for (int h = 0; h < 2; ++h)
-                    markCell(idx(e.rank, b, h));
-            break;
-          case FaultType::Bank:
-            markCell(idx(e.rank, e.bank, 0));
-            markCell(idx(e.rank, e.bank, 1));
-            break;
-          case FaultType::Column:
-            markCell(idx(e.rank, e.bank, e.half));
-            break;
-          case FaultType::Row:
-            smallPages_ += geom_.pagesPerRow;
-            break;
-          case FaultType::Word:
-          case FaultType::Bit:
-            smallPages_ += 1;
-            break;
-        }
-    }
-
-    double
-    fraction() const
-    {
-        double big = static_cast<double>(marked_) /
-                     static_cast<double>(cells_.size());
-        double small = static_cast<double>(smallPages_) /
-                       static_cast<double>(geom_.pages);
-        return std::min(1.0, big + small);
-    }
-
-  private:
-    std::size_t
-    idx(int rank, int bank, int half) const
-    {
-        return (static_cast<std::size_t>(rank) * geom_.banksPerDevice +
-                bank) * 2 + half;
-    }
-
-    void
-    markCell(std::size_t i)
-    {
-        if (!cells_[i]) {
-            cells_[i] = true;
-            ++marked_;
-        }
-    }
-
-    DomainGeometry geom_;
-    std::vector<bool> cells_;
-    std::size_t marked_ = 0;
-    std::uint64_t smallPages_ = 0;
-};
+// AffectedTracker moved to faults/fault_model.{hh,cc} so the campaign
+// driver shares the exact footprint-union arithmetic.
 
 /** Elementwise-sum fold shared by the sharded reductions. */
 void

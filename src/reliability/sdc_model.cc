@@ -50,6 +50,24 @@ scopeOf(FaultType t)
 
 } // anonymous namespace
 
+bool
+faultsOverlap(const ConcreteFault &a, const ConcreteFault &b)
+{
+    if (a.type == FaultType::Lane || b.type == FaultType::Lane)
+        return true;
+    if (a.group != b.group || a.device == b.device)
+        return false;
+    Scope sa = scopeOf(a.type);
+    Scope sb = scopeOf(b.type);
+    if (sa.oneBank && sb.oneBank && a.bank != b.bank)
+        return false;
+    if (sa.oneRow && sb.oneRow && a.row != b.row)
+        return false;
+    if (sa.oneCol && sb.oneCol && a.col != b.col)
+        return false;
+    return true;
+}
+
 SdcModelConfig
 SdcModelConfig::sccdcdMachine()
 {
@@ -204,14 +222,6 @@ SdcModel::mcArccSdcEventsDetailed(double years, double boost,
     if (!engine)
         engine = &SimEngine::global();
 
-    // Concrete fault with a sampled footprint.
-    struct Concrete
-    {
-        double time;
-        FaultType type;
-        int group, device, bank, row, col;
-    };
-
     SdcModelConfig boosted = config_;
     boosted.rates = config_.rates.scaled(boost);
 
@@ -222,14 +232,14 @@ SdcModel::mcArccSdcEventsDetailed(double years, double boost,
     // can run in any order on any shard.
     auto runTrial = [&](std::uint64_t trial, McSdcResult &out) {
         Rng trng = Rng::stream(seed, trial);
-        std::vector<Concrete> faults;
+        std::vector<ConcreteFault> faults;
         for (FaultType t : allFaultTypes()) {
             double rate =
                 fitToPerHour(boosted.rates[t]) * config_.devices;
             std::uint64_t n = trng.poisson(rate * life_hours);
             for (std::uint64_t i = 0; i < n; ++i) {
-                Concrete f;
-                f.time = trng.uniform() * life_hours;
+                ConcreteFault f;
+                f.timeHours = trng.uniform() * life_hours;
                 f.type = t;
                 f.group = static_cast<int>(trng.below(config_.groups));
                 f.device = static_cast<int>(
@@ -241,37 +251,22 @@ SdcModel::mcArccSdcEventsDetailed(double years, double boost,
             }
         }
         std::sort(faults.begin(), faults.end(),
-                  [](const Concrete &a, const Concrete &b) {
-                      return a.time < b.time;
+                  [](const ConcreteFault &a, const ConcreteFault &b) {
+                      return a.timeHours < b.timeHours;
                   });
-
-        auto overlaps = [&](const Concrete &a, const Concrete &b) {
-            if (a.type == FaultType::Lane || b.type == FaultType::Lane)
-                return true;
-            if (a.group != b.group || a.device == b.device)
-                return false;
-            Scope sa = scopeOf(a.type);
-            Scope sb = scopeOf(b.type);
-            if (sa.oneBank && sb.oneBank && a.bank != b.bank)
-                return false;
-            if (sa.oneRow && sb.oneRow && a.row != b.row)
-                return false;
-            if (sa.oneCol && sb.oneCol && a.col != b.col)
-                return false;
-            return true;
-        };
 
         std::uint64_t trial_events = 0;
         for (std::size_t i = 0; i < faults.size(); ++i) {
             // Fault i is detected (and its pages upgraded) at the end
             // of the scrub period it arrives in.
             double detect =
-                (std::floor(faults[i].time / config_.scrubHours) + 1.0) *
+                (std::floor(faults[i].timeHours / config_.scrubHours) +
+                 1.0) *
                 config_.scrubHours;
             for (std::size_t j = i + 1; j < faults.size(); ++j) {
-                if (faults[j].time >= detect)
+                if (faults[j].timeHours >= detect)
                     break;
-                if (overlaps(faults[i], faults[j]))
+                if (faultsOverlap(faults[i], faults[j]))
                     ++trial_events;
             }
         }

@@ -110,6 +110,32 @@ struct SdcModelConfig
 };
 
 /**
+ * A concrete fault with a fully sampled codeword-group footprint --
+ * the unit the Monte Carlo overlap scan works on.  Exposed so the
+ * campaign driver (src/campaign) runs the *same* overlap kernel as
+ * the validation Monte Carlo instead of cloning it.
+ */
+struct ConcreteFault
+{
+    double timeHours = 0.0;
+    FaultType type = FaultType::Bit;
+    int group = 0;   ///< Codeword group (lockstep or relaxed rank).
+    int device = 0;  ///< Device within the group.
+    int bank = 0;
+    int row = 0;
+    int col = 0;
+};
+
+/**
+ * Worst-case footprint intersection (Chapter 3): do two faults
+ * produce two bad symbols in a common codeword?  A lane fault
+ * blankets everything; any other pair must hit the same group from
+ * *different* devices, with matching bank / row / column wherever
+ * both footprints are confined to one.
+ */
+bool faultsOverlap(const ConcreteFault &a, const ConcreteFault &b);
+
+/**
  * Closed-form SDC / DUE rate model with Monte Carlo validation.
  */
 class SdcModel

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "arcc/scrubber.hh"
+#include "campaign/campaign.hh"
 #include "common/rng.hh"
 #include "cpu/system_sim.hh"
 #include "cpu/trace.hh"
@@ -536,6 +537,94 @@ TEST(TraceSimDeterminism4Ch, GoldenCountersOnTheGlobalEngine)
     EXPECT_EQ(r.memWrites, 2u);
     EXPECT_EQ(r.llcStats.misses, 5788u);
     EXPECT_NEAR(r.ipcSum, 1.6737, 0.05);
+}
+
+// --- fleet-scale campaign driver ---------------------------------------
+
+/**
+ * A fleet small enough for a sub-second test but wide enough that the
+ * 7-executor engine gets several shards per epoch (2048 trials / 64
+ * per shard = 32 shards across 8 epochs).
+ */
+CampaignSpec
+campaignSpec()
+{
+    CampaignSpec spec;
+    spec.channels = 2048;
+    spec.epochTrials = 256;
+    spec.shardTrials = 64;
+    spec.seed = 20130223;
+    return spec;
+}
+
+void
+expectEqual(const CampaignAggregate &a, const CampaignAggregate &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.faultsSampled, b.faultsSampled);
+    EXPECT_EQ(a.trialsWithFault, b.trialsWithFault);
+    EXPECT_EQ(a.sdcCandidates, b.sdcCandidates);
+    EXPECT_EQ(a.dueCandidates, b.dueCandidates);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(CampaignDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    const CampaignSpec spec = campaignSpec();
+    SimEngine ref(SimEngine::Options{1});
+    CampaignRunResult serial = CampaignDriver(spec, &ref).run();
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimEngine engine(SimEngine::Options{threads});
+        CampaignRunResult r = CampaignDriver(spec, &engine).run();
+        expectEqual(r.aggregate, serial.aggregate);
+        EXPECT_EQ(r.digest(spec), serial.digest(spec));
+    }
+}
+
+TEST(CampaignDeterminism, GoldenDigestOnTheGlobalEngine)
+{
+    // Golden campaign digest for the campaignSpec() fleet.  The
+    // global engine's size comes from ARCC_THREADS: CI runs this at
+    // 1 and 4 threads and both must reproduce the digest bit for bit.
+    const CampaignSpec spec = campaignSpec();
+    CampaignRunResult r = CampaignDriver(spec).run();
+    EXPECT_EQ(r.aggregate.trials, 2048u);
+    EXPECT_EQ(r.digest(spec), 0xa0c045902c858d77ULL);
+}
+
+TEST(CampaignDeterminism, ResumeSplitsAreBitIdenticalAcrossThreads)
+{
+    // Interrupt after 3 epochs on one engine, resume on an engine of
+    // every sweep width: the stitched digest must equal the
+    // uninterrupted one regardless of which widths ran which half.
+    const CampaignSpec spec = campaignSpec();
+    SimEngine ref(SimEngine::Options{1});
+    const std::uint64_t golden =
+        CampaignDriver(spec, &ref).run().digest(spec);
+
+    for (int threads : kThreadCounts) {
+        SCOPED_TRACE("resume threads=" + std::to_string(threads));
+        std::string path =
+            "determinism_campaign_" + std::to_string(threads) +
+            "_" + std::to_string(::getpid()) + ".ckpt";
+        TempFiles cleanup;
+        cleanup.paths.push_back(path);
+
+        CampaignRunOptions first;
+        first.checkpointPath = path;
+        first.maxEpochs = 3;
+        CampaignRunResult head = CampaignDriver(spec, &ref).run(first);
+        EXPECT_TRUE(head.interrupted);
+
+        SimEngine engine(SimEngine::Options{threads});
+        CampaignRunOptions rest;
+        rest.checkpointPath = path;
+        CampaignRunResult r = CampaignDriver(spec, &engine).run(rest);
+        EXPECT_EQ(r.resumedFromTrial, 3u * spec.epochTrials);
+        EXPECT_FALSE(r.interrupted);
+        EXPECT_EQ(r.digest(spec), golden);
+    }
 }
 
 TEST(MixBatchDeterminism, GlobalEngineMatchesSequentialReference)

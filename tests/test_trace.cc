@@ -357,6 +357,46 @@ TEST(TraceStreamDeathTest, BadInputsAreFatal)
                 ::testing::ExitedWithCode(1), "truncated");
 }
 
+TEST(TraceStreamDeathTest, TornFinalRecordIsFatalAtEveryOffset)
+{
+    // A crash mid-append can cut the final record at any byte; every
+    // cut must be diagnosed as truncation up front, never replayed as
+    // a partial record.
+    for (std::size_t cut = 1; cut < kTraceRecordBytes; ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        TempFile bin(tempPath("torn." + std::to_string(cut)));
+        {
+            std::ofstream out(bin.path, std::ios::binary);
+            BinaryTraceWriter writer(out);
+            for (const auto &a : syntheticAccesses(4, 23))
+                writer.append(a);
+        }
+        std::filesystem::resize_file(
+            bin.path,
+            sizeof kTraceMagic + 3 * kTraceRecordBytes + cut);
+        EXPECT_EXIT(TraceStream(bin.path),
+                    ::testing::ExitedWithCode(1), "torn final write");
+    }
+}
+
+TEST(BinaryTraceDeathTest, TornFinalRecordIsFatalAtEveryOffset)
+{
+    // Same sweep through the streaming converter.
+    std::ostringstream bin;
+    BinaryTraceWriter writer(bin);
+    for (const auto &a : syntheticAccesses(2, 29))
+        writer.append(a);
+    const std::string whole = bin.str();
+    for (std::size_t cut = 1; cut < kTraceRecordBytes; ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        std::istringstream torn(whole.substr(
+            0, sizeof kTraceMagic + kTraceRecordBytes + cut));
+        std::ostringstream text;
+        EXPECT_EXIT(binaryTraceToText(torn, text),
+                    ::testing::ExitedWithCode(1), "torn final write");
+    }
+}
+
 TEST(TraceStreamDeathTest, FileShrinkingMidReplayIsFatal)
 {
     TempFile bin(tempPath("shrink.bin"));
