@@ -7,11 +7,17 @@
  * The digest and every counter are pure functions of the spec -- CI
  * diffs the JSON across 1-vs-N-thread legs with the "threads" field
  * and the timing fields (trials_per_sec, ckpt_trials_per_sec,
- * ckpt_overhead_pct) normalised; everything else must be
- * bit-identical.
+ * ckpt_overhead_pct, workers_trials_per_sec) normalised; everything
+ * else must be bit-identical.
+ *
+ * The workers leg runs the same fleet through a WorkerPlan split
+ * (each worker slice sequentially in-process, then mergeCampaigns)
+ * and asserts the merged digest equals the single-run digest -- the
+ * scale-out exactness contract, measured rather than assumed.
  *
  * ARCC_BENCH_CAMPAIGN_CHANNELS overrides the fleet size (default
- * 8192 channel-lifetimes).
+ * 8192 channel-lifetimes); ARCC_BENCH_CAMPAIGN_WORKERS the worker
+ * split (default 4).
  */
 
 #include <chrono>
@@ -19,6 +25,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "campaign/campaign.hh"
@@ -38,6 +45,16 @@ channelBudget()
         return std::max<std::uint64_t>(
             1, std::strtoull(env, nullptr, 10));
     return 8192;
+}
+
+std::uint32_t
+workerBudget()
+{
+    if (const char *env = std::getenv("ARCC_BENCH_CAMPAIGN_WORKERS"))
+        return std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(
+                   std::strtoul(env, nullptr, 10)));
+    return 4;
 }
 
 double
@@ -107,6 +124,21 @@ main()
     CampaignRunResult resumed = driver.run(with_ckpt);
     std::filesystem::remove(ckpt);
 
+    // Leg 4: the scale-out axis -- split the fleet across a worker
+    // plan, run every slice (sequentially, so the rate is comparable
+    // to the plain leg), and fold with mergeCampaigns.
+    const std::uint32_t workers = workerBudget();
+    const WorkerPlan plan(spec, workers);
+    std::vector<CampaignWorkerSlice> slices;
+    slices.reserve(workers);
+    auto t4 = std::chrono::steady_clock::now();
+    for (std::uint32_t id = 0; id < workers; ++id)
+        slices.push_back(workerSlice(spec, plan, id,
+                                     driver.runWorker(plan, id)));
+    CampaignRunResult merged =
+        mergeCampaigns(spec, std::move(slices));
+    auto t5 = std::chrono::steady_clock::now();
+
     const double plain_s = seconds(t0, t1);
     const double ckpt_s = seconds(t2, t3);
     const double plain_rate =
@@ -115,9 +147,15 @@ main()
         static_cast<double>(spec.channels) / ckpt_s;
     const double overhead_pct =
         (ckpt_s / plain_s - 1.0) * 100.0;
+    const double workers_s = seconds(t4, t5);
+    const double workers_rate =
+        static_cast<double>(spec.channels) / workers_s;
+    const bool merge_match =
+        merged.digest(spec) == plain.digest(spec);
     const bool digests_agree =
         plain.digest(spec) == checked.digest(spec) &&
         plain.digest(spec) == resumed.digest(spec) &&
+        merge_match &&
         first.interrupted && resumed.resumedFromTrial > 0;
 
     const CampaignAggregate &agg = plain.aggregate;
@@ -136,6 +174,10 @@ main()
     table.row({"kill+resume", std::to_string(resumed.aggregate.trials),
                std::to_string(first.epochsRun + resumed.epochsRun),
                "-", hex(resumed.digest(spec))});
+    std::snprintf(rate, sizeof rate, "%.0f", workers_rate);
+    table.row({std::to_string(workers) + " workers+merge",
+               std::to_string(merged.aggregate.trials), "-", rate,
+               hex(merged.digest(spec))});
     table.print();
     std::printf("\ncheckpoint overhead: %.1f%%  resume equality: %s\n",
                 overhead_pct, digests_agree ? "ok" : "MISMATCH");
@@ -154,7 +196,11 @@ main()
               digests_agree ? "true" : "false"},
              {"trials_per_sec", jsonNum(plain_rate)},
              {"ckpt_trials_per_sec", jsonNum(ckpt_rate)},
-             {"ckpt_overhead_pct", jsonNum(overhead_pct)}});
+             {"ckpt_overhead_pct", jsonNum(overhead_pct)},
+             {"workers",
+              jsonNum(static_cast<std::uint64_t>(workers))},
+             {"merge_digest_match", merge_match ? "true" : "false"},
+             {"workers_trials_per_sec", jsonNum(workers_rate)}});
 
     return digests_agree ? 0 : 1;
 }

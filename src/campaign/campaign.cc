@@ -5,6 +5,7 @@
 
 #include "campaign/campaign.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <optional>
@@ -165,6 +166,37 @@ CampaignRunResult::digest(const CampaignSpec &spec) const
     return h;
 }
 
+WorkerPlan::WorkerPlan(const CampaignSpec &spec, std::uint32_t workers)
+    : workers_(workers), channels_(spec.channels)
+{
+    if (workers == 0)
+        fatal("WorkerPlan: zero workers");
+}
+
+WorkerRange
+WorkerPlan::range(std::uint32_t id) const
+{
+    if (id >= workers_)
+        fatal("WorkerPlan: worker id %u out of range (plan has %u "
+              "workers)", id, workers_);
+    // Balanced contiguous split: the first (channels % workers)
+    // ranges are one trial longer.  Pure function of (channels,
+    // workers), so every process derives identical ranges.
+    const std::uint64_t base = channels_ / workers_;
+    const std::uint64_t rem = channels_ % workers_;
+    WorkerRange r;
+    r.begin = static_cast<std::uint64_t>(id) * base +
+              std::min<std::uint64_t>(id, rem);
+    r.end = r.begin + base + (id < rem ? 1 : 0);
+    return r;
+}
+
+std::string
+workerCheckpointPath(const std::string &base, std::uint32_t workerId)
+{
+    return base + ".w" + std::to_string(workerId);
+}
+
 CampaignDriver::CampaignDriver(const CampaignSpec &spec,
                                SimEngine *engine)
     : spec_(spec), engine_(engine ? engine : &SimEngine::global())
@@ -272,17 +304,55 @@ CampaignDriver::runEpoch(std::uint64_t begin, std::uint64_t end) const
 CampaignRunResult
 CampaignDriver::run(const CampaignRunOptions &options) const
 {
+    return runWorker(WorkerPlan(spec_, 1), 0, options);
+}
+
+CampaignRunResult
+CampaignDriver::runWorker(const WorkerPlan &plan,
+                          std::uint32_t workerId,
+                          const CampaignRunOptions &options) const
+{
+    if (plan.channels() != spec_.channels)
+        fatal("CampaignDriver: worker plan covers %llu channels but "
+              "the spec names %llu",
+              static_cast<unsigned long long>(plan.channels()),
+              static_cast<unsigned long long>(spec_.channels));
+    return runRange(plan.range(workerId), workerId, plan.workers(),
+                    options);
+}
+
+CampaignRunResult
+CampaignDriver::runRange(const WorkerRange &range,
+                         std::uint32_t workerId,
+                         std::uint32_t workerCount,
+                         const CampaignRunOptions &options) const
+{
+    // The worker's epoch grid is local to its range: epoch e covers
+    // [begin + e*epochTrials, ...), capped at the range end.  For the
+    // whole-range single worker this is exactly the spec's global
+    // grid, so pre-scale-out logs keep their meaning.
+    const auto epoch_end = [&](std::uint64_t e) {
+        const std::uint64_t end =
+            range.begin + (e + 1) * spec_.epochTrials;
+        return std::min(end, range.end);
+    };
+
     CampaignRunResult result;
     result.aggregate = CampaignAggregate::empty();
-    std::uint64_t cursor = 0;
+    std::uint64_t cursor = range.begin;
     std::uint64_t next_epoch = 0;
 
     std::optional<CheckpointWriter> writer;
     if (!options.checkpointPath.empty()) {
-        const CheckpointIdentity identity{spec_.configHash(),
-                                          spec_.seed};
+        CheckpointIdentity identity;
+        identity.configHash = spec_.configHash();
+        identity.seed = spec_.seed;
+        identity.workerId = workerId;
+        identity.workerCount = workerCount;
+        identity.beginTrial = range.begin;
+        identity.endTrial = range.end;
         // The monotonicity check: sealed records must be exactly
-        // epochs 0, 1, 2, ... with the cursor this spec's epoch
+        // epochs 0, 1, 2, ... with the cursor this worker's epoch
         // layout dictates.  A duplicated, reordered or re-laid-out
         // record means the log was not written by this campaign
         // resumed cleanly, and no state derived from it is safe.
@@ -303,7 +373,7 @@ CampaignDriver::run(const CampaignRunOptions &options) const
                           static_cast<unsigned long long>(
                               expect_epoch),
                           static_cast<unsigned long long>(epoch));
-                if (next != spec_.epochEnd(epoch))
+                if (next != epoch_end(epoch))
                     fatal("campaign checkpoint '%s': epoch %llu ends "
                           "at trial %llu but this spec's layout says "
                           "%llu (epochTrials changed?); refusing to "
@@ -312,7 +382,7 @@ CampaignDriver::run(const CampaignRunOptions &options) const
                           static_cast<unsigned long long>(epoch),
                           static_cast<unsigned long long>(next),
                           static_cast<unsigned long long>(
-                              spec_.epochEnd(epoch)));
+                              epoch_end(epoch)));
                 ++expect_epoch;
             });
 
@@ -324,14 +394,15 @@ CampaignDriver::run(const CampaignRunOptions &options) const
             cursor = getU64(&cur, end);
             result.aggregate =
                 CampaignAggregate::deserializeFrom(&cur, end);
-            if (result.aggregate.trials != cursor)
+            if (result.aggregate.trials != cursor - range.begin)
                 fatal("campaign checkpoint '%s': aggregate covers "
                       "%llu trials but the cursor says %llu; "
                       "refusing to resume",
                       options.checkpointPath.c_str(),
                       static_cast<unsigned long long>(
                           result.aggregate.trials),
-                      static_cast<unsigned long long>(cursor));
+                      static_cast<unsigned long long>(
+                          cursor - range.begin));
             next_epoch = epoch + 1;
             result.resumedFromTrial = cursor;
         }
@@ -340,12 +411,12 @@ CampaignDriver::run(const CampaignRunOptions &options) const
                                      recovery));
     }
 
-    while (cursor < spec_.channels) {
+    while (cursor < range.end) {
         if (options.stopRequested && options.stopRequested()) {
             result.interrupted = true;
             break;
         }
-        const std::uint64_t end = spec_.epochEnd(next_epoch);
+        const std::uint64_t end = epoch_end(next_epoch);
         CampaignAggregate partial = runEpoch(cursor, end);
         result.aggregate.merge(partial);
         cursor = end;
@@ -361,11 +432,163 @@ CampaignDriver::run(const CampaignRunOptions &options) const
         ++result.epochsRun;
         if (options.maxEpochs != 0 &&
             result.epochsRun >= options.maxEpochs &&
-            cursor < spec_.channels) {
+            cursor < range.end) {
             result.interrupted = true;
             break;
         }
     }
+    return result;
+}
+
+CampaignWorkerSlice
+workerSlice(const CampaignSpec &spec, const WorkerPlan &plan,
+            std::uint32_t workerId, const CampaignRunResult &result)
+{
+    const WorkerRange range = plan.range(workerId);
+    CampaignWorkerSlice slice;
+    slice.workerId = workerId;
+    slice.workerCount = plan.workers();
+    slice.beginTrial = range.begin;
+    slice.endTrial = range.end;
+    slice.configHash = spec.configHash();
+    slice.seed = spec.seed;
+    slice.aggregate = result.aggregate;
+    return slice;
+}
+
+CampaignWorkerSlice
+loadWorkerSlice(const std::string &path, const CampaignSpec &spec,
+                const WorkerPlan &plan, std::uint32_t workerId)
+{
+    const WorkerRange range = plan.range(workerId);
+    CheckpointIdentity expected;
+    expected.configHash = spec.configHash();
+    expected.seed = spec.seed;
+    expected.workerId = workerId;
+    expected.workerCount = plan.workers();
+    expected.beginTrial = range.begin;
+    expected.endTrial = range.end;
+
+    // recoverCheckpoint fatals on corruption, foreign campaigns and
+    // swapped worker logs -- all naming `path`.
+    const CheckpointRecovery recovery =
+        recoverCheckpoint(path, expected);
+    if (recovery.fresh)
+        fatal("campaign merge: worker %u's checkpoint '%s' does not "
+              "exist (or is an unsealed stub); run the worker before "
+              "merging", workerId, path.c_str());
+
+    CampaignWorkerSlice slice;
+    slice.workerId = workerId;
+    slice.workerCount = plan.workers();
+    slice.beginTrial = range.begin;
+    slice.endTrial = range.end;
+    slice.configHash = spec.configHash();
+    slice.seed = spec.seed;
+    slice.aggregate = CampaignAggregate::empty();
+    slice.source = path;
+
+    std::uint64_t cursor = range.begin;
+    if (recovery.records > 0) {
+        const std::uint8_t *cur = recovery.lastPayload.data();
+        const std::uint8_t *end = cur + recovery.lastPayload.size();
+        getU64(&cur, end); // epoch index
+        cursor = getU64(&cur, end);
+        slice.aggregate = CampaignAggregate::deserializeFrom(&cur, end);
+    }
+    if (cursor != range.end)
+        fatal("campaign merge: worker %u's checkpoint '%s' stopped "
+              "at trial %llu of [%llu, %llu); resume the worker to "
+              "completion before merging", workerId, path.c_str(),
+              static_cast<unsigned long long>(cursor),
+              static_cast<unsigned long long>(range.begin),
+              static_cast<unsigned long long>(range.end));
+    if (slice.aggregate.trials != range.trials())
+        fatal("campaign merge: worker %u's checkpoint '%s' aggregate "
+              "covers %llu trials but the worker owns %llu; refusing "
+              "to merge", workerId, path.c_str(),
+              static_cast<unsigned long long>(slice.aggregate.trials),
+              static_cast<unsigned long long>(range.trials()));
+    return slice;
+}
+
+CampaignRunResult
+mergeCampaigns(const CampaignSpec &spec,
+               std::vector<CampaignWorkerSlice> slices)
+{
+    if (slices.empty())
+        fatal("campaign merge: no worker slices to merge");
+
+    std::sort(slices.begin(), slices.end(),
+              [](const CampaignWorkerSlice &a,
+                 const CampaignWorkerSlice &b) {
+                  return a.workerId < b.workerId;
+              });
+
+    const auto count = static_cast<std::uint32_t>(slices.size());
+    const std::uint64_t config_hash = spec.configHash();
+    std::uint64_t cursor = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const CampaignWorkerSlice &s = slices[i];
+        if (i > 0 && s.workerId == slices[i - 1].workerId)
+            fatal("campaign merge: duplicate worker id %u (%s and "
+                  "%s)", s.workerId, slices[i - 1].source.c_str(),
+                  s.source.c_str());
+        if (s.workerId != i)
+            fatal("campaign merge: worker id %u missing (have %u "
+                  "slices, ids must be 0..%u)", i, count, count - 1);
+        if (s.workerCount != count)
+            fatal("campaign merge: %s is stamped worker %u of %u but "
+                  "%u slices were offered; refusing to merge a "
+                  "partial or mixed fleet", s.source.c_str(),
+                  s.workerId, s.workerCount, count);
+        if (s.configHash != config_hash || s.seed != spec.seed)
+            fatal("campaign merge: %s was produced by config "
+                  "%016llx seed %llu, this campaign is %016llx seed "
+                  "%llu (stale or mixed configHash); refusing to "
+                  "merge", s.source.c_str(),
+                  static_cast<unsigned long long>(s.configHash),
+                  static_cast<unsigned long long>(s.seed),
+                  static_cast<unsigned long long>(config_hash),
+                  static_cast<unsigned long long>(spec.seed));
+        if (s.beginTrial > cursor)
+            fatal("campaign merge: gap in trial coverage [%llu, "
+                  "%llu) before %s; refusing to merge an incomplete "
+                  "fleet",
+                  static_cast<unsigned long long>(cursor),
+                  static_cast<unsigned long long>(s.beginTrial),
+                  s.source.c_str());
+        if (s.beginTrial < cursor)
+            fatal("campaign merge: %s covers trials [%llu, %llu), "
+                  "overlapping the %llu trials already folded; "
+                  "refusing to double-count", s.source.c_str(),
+                  static_cast<unsigned long long>(s.beginTrial),
+                  static_cast<unsigned long long>(s.endTrial),
+                  static_cast<unsigned long long>(cursor));
+        if (s.endTrial < s.beginTrial)
+            fatal("campaign merge: %s covers an inverted range "
+                  "[%llu, %llu)", s.source.c_str(),
+                  static_cast<unsigned long long>(s.beginTrial),
+                  static_cast<unsigned long long>(s.endTrial));
+        if (s.aggregate.trials != s.endTrial - s.beginTrial)
+            fatal("campaign merge: %s owns %llu trials but its "
+                  "aggregate covers %llu (incomplete worker?); "
+                  "refusing to merge", s.source.c_str(),
+                  static_cast<unsigned long long>(s.endTrial -
+                                                  s.beginTrial),
+                  static_cast<unsigned long long>(s.aggregate.trials));
+        cursor = s.endTrial;
+    }
+    if (cursor != spec.channels)
+        fatal("campaign merge: slices cover trials [0, %llu) but the "
+              "campaign has %llu; refusing to merge an incomplete "
+              "fleet", static_cast<unsigned long long>(cursor),
+              static_cast<unsigned long long>(spec.channels));
+
+    CampaignRunResult result;
+    result.aggregate = CampaignAggregate::empty();
+    for (const CampaignWorkerSlice &s : slices)
+        result.aggregate.merge(s.aggregate);
     return result;
 }
 

@@ -165,6 +165,57 @@ struct CampaignAggregate
                     const std::uint8_t *end);
 };
 
+/** One worker's contiguous slice [begin, end) of the trial space. */
+struct WorkerRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t trials() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/**
+ * Partition of a campaign's trial space into N contiguous worker
+ * ranges, balanced to within one trial.  The partition is a pure
+ * function of (channels, workers): every participant -- workers,
+ * resumers, the merge step -- derives the identical plan from the
+ * spec, so worker ranges can be stamped into checkpoint headers and
+ * cross-checked at every step.
+ *
+ * Partitioning never perturbs per-trial randomness: trial i always
+ * draws from Rng::stream(seed, i) with its *global* index, so the
+ * same trial computes the same outcome no matter which worker owns
+ * it or how many workers there are.  When workers > channels the
+ * trailing workers own empty ranges, which contribute (exactly)
+ * nothing to the merge.
+ */
+class WorkerPlan
+{
+  public:
+    /** Split `spec`'s trial space across `workers` ranges.  fatal()
+     *  on zero workers. */
+    WorkerPlan(const CampaignSpec &spec, std::uint32_t workers);
+
+    std::uint32_t workers() const { return workers_; }
+    std::uint64_t channels() const { return channels_; }
+
+    /** Worker `id`'s slice; fatal() on an out-of-range id. */
+    WorkerRange range(std::uint32_t id) const;
+
+  private:
+    std::uint32_t workers_ = 1;
+    std::uint64_t channels_ = 0;
+};
+
+/**
+ * Per-worker checkpoint naming convention: `base` + ".w<id>".  Shared
+ * by the CLI's worker and merge modes, the CI smoke, and the tests so
+ * a fleet of logs is always discoverable from one base path.
+ */
+std::string workerCheckpointPath(const std::string &base,
+                                 std::uint32_t workerId);
+
 /** Outcome of CampaignDriver::run. */
 struct CampaignRunResult
 {
@@ -216,6 +267,19 @@ class CampaignDriver
     CampaignRunResult run(const CampaignRunOptions &options = {}) const;
 
     /**
+     * Run (or resume) one worker's slice of the campaign: trials
+     * [plan.range(workerId).begin, .end) in worker-local epochs of
+     * spec.epochTrials.  The checkpoint log (if any) is stamped with
+     * the worker id and range, so swapped or foreign logs are fatal
+     * on recovery.  run() is exactly runWorker over the 1-worker
+     * plan.
+     */
+    CampaignRunResult runWorker(const WorkerPlan &plan,
+                                std::uint32_t workerId,
+                                const CampaignRunOptions &options =
+                                    {}) const;
+
+    /**
      * The deterministic kernel: aggregate trials [begin, end) run
      * serially on the calling thread.  Exposed so tests can compare
      * any sharded/resumed decomposition against one serial pass.
@@ -230,9 +294,77 @@ class CampaignDriver
     CampaignAggregate runEpoch(std::uint64_t begin,
                                std::uint64_t end) const;
 
+    /** The shared run/runWorker core over one stamped range. */
+    CampaignRunResult runRange(const WorkerRange &range,
+                               std::uint32_t workerId,
+                               std::uint32_t workerCount,
+                               const CampaignRunOptions &options) const;
+
     CampaignSpec spec_;
     SimEngine *engine_;
 };
+
+/**
+ * One worker's completed contribution to a campaign: its stamp, the
+ * identity of the experiment that produced it, and the aggregate over
+ * its trial range.  Produced in-process by a runWorker result or
+ * loaded from a finished worker's checkpoint log.
+ */
+struct CampaignWorkerSlice
+{
+    std::uint32_t workerId = 0;
+    std::uint32_t workerCount = 1;
+    std::uint64_t beginTrial = 0;
+    std::uint64_t endTrial = 0;
+    std::uint64_t configHash = 0;
+    std::uint64_t seed = 0;
+    CampaignAggregate aggregate;
+    /** Where the slice came from, for merge diagnostics: the log
+     *  path, or "<memory>" for in-process slices. */
+    std::string source = "<memory>";
+};
+
+/** Worker `workerId`'s result as a merge-ready slice. */
+CampaignWorkerSlice
+workerSlice(const CampaignSpec &spec, const WorkerPlan &plan,
+            std::uint32_t workerId, const CampaignRunResult &result);
+
+/**
+ * Load worker `workerId`'s *finished* slice from its checkpoint log.
+ * fatal() (naming the file) when the log belongs to another campaign
+ * or worker, is corrupt, or stopped short of the worker's range end
+ * -- an unfinished worker must be resumed, never merged.
+ */
+CampaignWorkerSlice
+loadWorkerSlice(const std::string &path, const CampaignSpec &spec,
+                const WorkerPlan &plan, std::uint32_t workerId);
+
+/**
+ * The exact cross-worker reduction: fold the slices' aggregates in
+ * worker order into one campaign result whose digest is bit-identical
+ * to a single-process run of the same spec.
+ *
+ * Exactness is by construction, not by tolerance.  All counters and
+ * histogram bins are 64-bit integers, and min/max fold exactly, so
+ * they merge exactly in any grouping.  The double-valued sums
+ * (affectedSum and the sketches' sums) are sums of per-trial metrics
+ * that are dyadic rationals on one fixed power-of-two denominator --
+ * AffectedTracker::fraction() is (cells marked) / (2^k cells) +
+ * (pages) / (2^20 pages), and the fault-count metric is a small
+ * integer -- so every partial sum is exactly representable and IEEE
+ * addition over them is associative: any contiguous split of the
+ * trial space folds to the same bits.  The multiproc fuzz suite
+ * (tests/test_campaign_multiproc.cc) pins this down to the byte.
+ *
+ * fatal() on an empty slice list, duplicate or out-of-range worker
+ * ids, inconsistent worker counts, overlapping ranges or coverage
+ * gaps, an aggregate that does not cover its range, or a slice from
+ * a different experiment (configHash/seed mismatch) -- each
+ * diagnostic names the offending slice's source.
+ */
+CampaignRunResult
+mergeCampaigns(const CampaignSpec &spec,
+               std::vector<CampaignWorkerSlice> slices);
 
 } // namespace arcc
 

@@ -66,7 +66,100 @@ encodeHeader(const CheckpointIdentity &identity)
     writeU32(payload.data() + 8, kCheckpointVersion);
     writeU64(payload.data() + 12, identity.configHash);
     writeU64(payload.data() + 20, identity.seed);
+    writeU32(payload.data() + 28, identity.workerId);
+    writeU32(payload.data() + 32, identity.workerCount);
+    writeU64(payload.data() + 36, identity.beginTrial);
+    writeU64(payload.data() + 44, identity.endTrial);
     return payload;
+}
+
+/**
+ * Parse and validate a sealed header payload against the expected
+ * identity.  fatal() with a diagnostic naming `path` on any mismatch;
+ * on success fills `out.identity` and `out.version`.
+ */
+void
+checkHeader(const std::string &path,
+            std::span<const std::uint8_t> payload,
+            const CheckpointIdentity &expected, CheckpointRecovery &out)
+{
+    if (payload.size() < 12 ||
+        std::memcmp(payload.data(), kCheckpointMagic,
+                    sizeof kCheckpointMagic) != 0)
+        fatal("checkpoint '%s': missing ARCCCKP1 magic -- not an "
+              "ARCC campaign checkpoint; refusing to touch it",
+              path.c_str());
+    const std::uint32_t version = readU32(payload.data() + 8);
+    if (version > kCheckpointVersion)
+        fatal("checkpoint '%s': log version newer than binary "
+              "(format version %u, this binary reads up to %u) -- "
+              "rerun with a build that understands it; refusing to "
+              "resume", path.c_str(), version, kCheckpointVersion);
+    if (version < kCheckpointVersionMin)
+        fatal("checkpoint '%s': format version %u predates the "
+              "oldest supported version %u; refusing to resume",
+              path.c_str(), version, kCheckpointVersionMin);
+    const std::size_t want_len = version == 1 ? kHeaderPayloadBytesV1
+                                              : kHeaderPayloadBytes;
+    if (payload.size() != want_len)
+        fatal("checkpoint '%s': v%u header is %zu bytes, expected "
+              "%zu; refusing to resume", path.c_str(), version,
+              payload.size(), want_len);
+
+    out.version = version;
+    out.identity.configHash = readU64(payload.data() + 12);
+    out.identity.seed = readU64(payload.data() + 20);
+    if (out.identity.configHash != expected.configHash ||
+        out.identity.seed != expected.seed)
+        fatal("checkpoint '%s': belongs to a different campaign "
+              "(config hash %016llx seed %llu, expected %016llx "
+              "seed %llu); refusing to resume or overwrite",
+              path.c_str(),
+              static_cast<unsigned long long>(out.identity.configHash),
+              static_cast<unsigned long long>(out.identity.seed),
+              static_cast<unsigned long long>(expected.configHash),
+              static_cast<unsigned long long>(expected.seed));
+
+    if (version == 1) {
+        // A v1 log predates the worker stamp: it can only have been
+        // written by a whole-range single-worker run, so it is
+        // readable exactly as that and nothing else.
+        if (expected.workerId != 0 || expected.workerCount != 1 ||
+            expected.beginTrial != 0)
+            fatal("checkpoint '%s': v1 log carries no worker stamp "
+                  "and is readable only as the whole-range single "
+                  "worker, but this run expects worker %u of %u "
+                  "covering trials [%llu, %llu); refusing to resume",
+                  path.c_str(), expected.workerId,
+                  expected.workerCount,
+                  static_cast<unsigned long long>(expected.beginTrial),
+                  static_cast<unsigned long long>(expected.endTrial));
+        out.identity.workerId = expected.workerId;
+        out.identity.workerCount = expected.workerCount;
+        out.identity.beginTrial = expected.beginTrial;
+        out.identity.endTrial = expected.endTrial;
+        return;
+    }
+
+    out.identity.workerId = readU32(payload.data() + 28);
+    out.identity.workerCount = readU32(payload.data() + 32);
+    out.identity.beginTrial = readU64(payload.data() + 36);
+    out.identity.endTrial = readU64(payload.data() + 44);
+    if (out.identity.workerId != expected.workerId ||
+        out.identity.workerCount != expected.workerCount ||
+        out.identity.beginTrial != expected.beginTrial ||
+        out.identity.endTrial != expected.endTrial)
+        fatal("checkpoint '%s': worker stamp mismatch -- the log "
+              "belongs to worker %u of %u covering trials "
+              "[%llu, %llu), this run expects worker %u of %u "
+              "covering [%llu, %llu) (swapped worker logs?); "
+              "refusing to resume", path.c_str(),
+              out.identity.workerId, out.identity.workerCount,
+              static_cast<unsigned long long>(out.identity.beginTrial),
+              static_cast<unsigned long long>(out.identity.endTrial),
+              expected.workerId, expected.workerCount,
+              static_cast<unsigned long long>(expected.beginTrial),
+              static_cast<unsigned long long>(expected.endTrial));
 }
 
 /** Frame a payload: [len][crc][payload] in one contiguous buffer. */
@@ -132,16 +225,7 @@ recoverCheckpoint(const std::string &path,
     }
     std::fclose(file);
 
-    // A stub shorter than one sealed header frame can only be a crash
-    // during creation: nothing valid was ever on disk, so there is
-    // nothing to lose by starting over.
-    constexpr std::uint64_t header_frame =
-        kFrameOverheadBytes + kHeaderPayloadBytes;
-    if (bytes.size() < header_frame) {
-        if (!bytes.empty())
-            warn("checkpoint '%s': %zu-byte torn header stub; "
-                 "starting the campaign from scratch",
-                 path.c_str(), bytes.size());
+    if (bytes.empty()) {
         out.identity = expected;
         out.fresh = true;
         return out;
@@ -189,11 +273,26 @@ recoverCheckpoint(const std::string &path,
                       static_cast<unsigned long long>(offset),
                       static_cast<unsigned long long>(
                           bytes.size() - offset));
-            if (!saw_header)
+            if (!saw_header) {
+                // A file shorter than one sealed header frame can
+                // only be a crash during create(): nothing sealed was
+                // ever on disk, so nothing is lost by starting over.
+                // (Shorter than the *v2* frame: a sealed v1 header is
+                // caught by the CRC above before reaching here.)
+                if (bytes.size() <
+                    kFrameOverheadBytes + kHeaderPayloadBytes) {
+                    warn("checkpoint '%s': %zu-byte torn header "
+                         "stub; starting the campaign from scratch",
+                         path.c_str(), bytes.size());
+                    out.identity = expected;
+                    out.fresh = true;
+                    return out;
+                }
                 fatal("checkpoint '%s': corrupt header frame -- not "
                       "an ARCC campaign checkpoint, or damaged "
                       "beyond recovery; refusing to touch it",
                       path.c_str());
+            }
             out.tornBytes = remaining;
             warn("checkpoint '%s': dropping %llu torn trailing "
                  "bytes; resuming from the last sealed epoch",
@@ -205,33 +304,7 @@ recoverCheckpoint(const std::string &path,
         std::span<const std::uint8_t> payload{
             bytes.data() + offset + kFrameOverheadBytes, len};
         if (!saw_header) {
-            if (len != kHeaderPayloadBytes ||
-                std::memcmp(payload.data(), kCheckpointMagic,
-                            sizeof kCheckpointMagic) != 0)
-                fatal("checkpoint '%s': missing ARCCCKP1 magic -- "
-                      "not an ARCC campaign checkpoint; refusing to "
-                      "touch it", path.c_str());
-            const std::uint32_t version = readU32(payload.data() + 8);
-            if (version != kCheckpointVersion)
-                fatal("checkpoint '%s': format version %u, this "
-                      "build writes %u; refusing to resume",
-                      path.c_str(), version, kCheckpointVersion);
-            out.identity.configHash = readU64(payload.data() + 12);
-            out.identity.seed = readU64(payload.data() + 20);
-            if (out.identity.configHash != expected.configHash ||
-                out.identity.seed != expected.seed)
-                fatal("checkpoint '%s': belongs to a different "
-                      "campaign (config hash %016llx seed %llu, "
-                      "expected %016llx seed %llu); refusing to "
-                      "resume or overwrite",
-                      path.c_str(),
-                      static_cast<unsigned long long>(
-                          out.identity.configHash),
-                      static_cast<unsigned long long>(
-                          out.identity.seed),
-                      static_cast<unsigned long long>(
-                          expected.configHash),
-                      static_cast<unsigned long long>(expected.seed));
+            checkHeader(path, payload, expected, out);
             saw_header = true;
         } else {
             if (onRecord)

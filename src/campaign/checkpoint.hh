@@ -11,6 +11,18 @@
  *                     | u32 format version
  *                     | u64 campaign config hash
  *                     | u64 campaign seed
+ *                     | u32 worker id          (v2)
+ *                     | u32 worker count       (v2)
+ *                     | u64 first owned trial  (v2)
+ *                     | u64 one-past-last trial (v2)
+ *
+ * Version history: v1 logs end after the seed -- they predate the
+ * multi-process scale-out and are readable only as the whole-range
+ * single worker (worker 0 of 1).  v2 adds the worker-id/range stamp
+ * so one campaign's N per-worker logs can never be confused with each
+ * other or with another fleet's slices.  A reader confronted with a
+ * version *newer* than it writes says so explicitly ("log version
+ * newer than binary") instead of hiding behind a generic mismatch.
  *
  *     epoch payload  := opaque bytes owned by the campaign layer
  *                       (epoch index, next-trial cursor, serialized
@@ -59,12 +71,18 @@ namespace arcc
 /** Magic bytes opening a checkpoint header payload. */
 inline constexpr char kCheckpointMagic[8] = {'A', 'R', 'C', 'C',
                                              'C', 'K', 'P', '1'};
-/** Checkpoint format version (bumped on any layout change). */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/** Checkpoint format version this binary writes (bumped on any
+ *  layout change; v2 added the worker-id/range stamp). */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+/** Oldest format version this binary still reads. */
+inline constexpr std::uint32_t kCheckpointVersionMin = 1;
 /** Bytes of frame overhead (length + CRC words). */
 inline constexpr std::size_t kFrameOverheadBytes = 8;
-/** Serialized header payload size. */
-inline constexpr std::size_t kHeaderPayloadBytes = 8 + 4 + 8 + 8;
+/** Serialized header payload size (v2, with the worker stamp). */
+inline constexpr std::size_t kHeaderPayloadBytes =
+    8 + 4 + 8 + 8 + 4 + 4 + 8 + 8;
+/** Serialized header payload size of a v1 (pre-stamp) log. */
+inline constexpr std::size_t kHeaderPayloadBytesV1 = 8 + 4 + 8 + 8;
 
 /** Identity a checkpoint file is bound to. */
 struct CheckpointIdentity
@@ -74,12 +92,24 @@ struct CheckpointIdentity
     /** Campaign seed (redundant with the hash; kept readable in the
      *  file so a hexdump identifies the experiment). */
     std::uint64_t seed = 0;
+    /** Worker stamp: which contiguous slice [beginTrial, endTrial) of
+     *  the campaign's trial space this log owns.  The defaults are
+     *  the whole-range single worker, which is also what a v1 log
+     *  (written before the stamp existed) is read as. */
+    std::uint32_t workerId = 0;
+    std::uint32_t workerCount = 1;
+    std::uint64_t beginTrial = 0;
+    std::uint64_t endTrial = 0;
 };
 
 /** What a scan of an existing checkpoint file found. */
 struct CheckpointRecovery
 {
     CheckpointIdentity identity;
+    /** Format version the file was written in (v1 logs carry no
+     *  worker stamp; their identity adopts the expected stamp after
+     *  the single-worker check). */
+    std::uint32_t version = kCheckpointVersion;
     /** Sealed epoch records found (0 = header only). */
     std::uint64_t records = 0;
     /** Payload of the last sealed record (empty when records == 0). */

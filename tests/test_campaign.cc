@@ -264,7 +264,10 @@ TEST(CampaignDeathTest, HandCraftedInconsistentRecordsAreFatal)
     SimEngine engine(SimEngine::Options{1});
     CampaignSpec spec = testSpec();
     CampaignDriver driver(spec, &engine);
-    const CheckpointIdentity identity{spec.configHash(), spec.seed};
+    CheckpointIdentity identity;
+    identity.configHash = spec.configHash();
+    identity.seed = spec.seed;
+    identity.endTrial = spec.channels; // whole-range single worker
 
     // Epoch record whose cursor does not match the spec's layout.
     TempFile layout(tempPath("layout"));

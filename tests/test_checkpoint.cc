@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "campaign/checkpoint.hh"
+#include "common/crc32c.hh"
 #include "common/rng.hh"
 
 namespace arcc
@@ -337,6 +338,207 @@ TEST(CheckpointDeathTest, OversizedAppendIsFatal)
             w.append(huge);
         },
         ::testing::ExitedWithCode(1), "format ceiling");
+}
+
+// --- the v2 worker stamp and version gates -----------------------------
+
+/** Byte offset of a header-payload field within the file (the header
+ *  frame's payload starts after the length + CRC words). */
+constexpr std::size_t kVersionOff = kFrameOverheadBytes + 8;
+constexpr std::size_t kWorkerIdOff = kFrameOverheadBytes + 28;
+
+/** Patch `bytes[off..]` in the header payload and re-seal the header
+ *  CRC, so the damage models a buggy writer rather than line noise. */
+void
+patchHeader(std::vector<std::uint8_t> &bytes, std::size_t off,
+            std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[off + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(bytes[0]) |
+        (static_cast<std::uint32_t>(bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[3]) << 24);
+    const std::uint32_t crc = crc32c(
+        {bytes.data() + kFrameOverheadBytes, len});
+    for (int i = 0; i < 4; ++i)
+        bytes[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+}
+
+/** A stamped multi-worker identity (worker 1 of 4, trials
+ *  [512, 1024)). */
+CheckpointIdentity
+stampedIdentity()
+{
+    CheckpointIdentity id = kIdentity;
+    id.workerId = 1;
+    id.workerCount = 4;
+    id.beginTrial = 512;
+    id.endTrial = 1024;
+    return id;
+}
+
+/** Hand-craft a sealed v1 (pre-stamp) log: header + `epochs`
+ *  records, exactly as the pre-scale-out writer laid them out. */
+void
+buildV1Log(const std::string &path, int epochs)
+{
+    std::vector<std::uint8_t> bytes;
+    auto seal = [&](const std::vector<std::uint8_t> &payload) {
+        const auto len = static_cast<std::uint32_t>(payload.size());
+        const std::uint32_t crc =
+            crc32c({payload.data(), payload.size()});
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+        bytes.insert(bytes.end(), payload.begin(), payload.end());
+    };
+
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), std::begin(kCheckpointMagic),
+                  std::end(kCheckpointMagic));
+    auto put32 = [&](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            header.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    auto put64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            header.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put32(1); // format version
+    put64(kIdentity.configHash);
+    put64(kIdentity.seed);
+    ASSERT_EQ(header.size(), kHeaderPayloadBytesV1);
+    seal(header);
+    for (int e = 0; e < epochs; ++e)
+        seal(epochPayload(e));
+    writeFile(path, bytes);
+}
+
+TEST(Checkpoint, WorkerStampRoundTrips)
+{
+    TempFile f(tempPath("stamp"));
+    const CheckpointIdentity stamped = stampedIdentity();
+    {
+        CheckpointWriter w =
+            CheckpointWriter::create(f.path, stamped);
+        auto p = epochPayload(0);
+        w.append(p);
+    }
+    CheckpointRecovery rec = recoverCheckpoint(f.path, stamped);
+    EXPECT_FALSE(rec.fresh);
+    EXPECT_EQ(rec.records, 1u);
+    EXPECT_EQ(rec.version, kCheckpointVersion);
+    EXPECT_EQ(rec.identity.workerId, 1u);
+    EXPECT_EQ(rec.identity.workerCount, 4u);
+    EXPECT_EQ(rec.identity.beginTrial, 512u);
+    EXPECT_EQ(rec.identity.endTrial, 1024u);
+}
+
+TEST(Checkpoint, V1LogReadsAsTheWholeRangeSingleWorker)
+{
+    // A pre-stamp log keeps working after the version bump -- but
+    // only as worker 0 of 1 over the whole range, the only thing a
+    // v1 writer could have meant.
+    TempFile f(tempPath("v1"));
+    buildV1Log(f.path, 2);
+    CheckpointIdentity expected = kIdentity; // defaults: 0 of 1
+    expected.endTrial = 2048;
+    CheckpointRecovery rec = recoverCheckpoint(f.path, expected);
+    EXPECT_FALSE(rec.fresh);
+    EXPECT_EQ(rec.records, 2u);
+    EXPECT_EQ(rec.version, 1u);
+    // The identity adopts the expected stamp (the file carries none).
+    EXPECT_EQ(rec.identity.endTrial, 2048u);
+    EXPECT_EQ(rec.lastPayload, epochPayload(1));
+}
+
+TEST(CheckpointDeathTest, V1LogUnderAMultiWorkerExpectationIsFatal)
+{
+    TempFile f(tempPath("v1-multi"));
+    buildV1Log(f.path, 1);
+    EXPECT_EXIT(recoverCheckpoint(f.path, stampedIdentity()),
+                ::testing::ExitedWithCode(1),
+                "whole-range single worker");
+}
+
+TEST(CheckpointDeathTest, SwappedWorkerLogsAreFatal)
+{
+    // Worker 1's log offered as worker 2's: same campaign, same
+    // fleet, wrong slice -- the classic operator mistake the stamp
+    // exists to catch.
+    TempFile f(tempPath("swapped"));
+    {
+        CheckpointWriter w =
+            CheckpointWriter::create(f.path, stampedIdentity());
+        auto p = epochPayload(0);
+        w.append(p);
+    }
+    CheckpointIdentity other = stampedIdentity();
+    other.workerId = 2;
+    other.beginTrial = 1024;
+    other.endTrial = 1536;
+    EXPECT_EXIT(recoverCheckpoint(f.path, other),
+                ::testing::ExitedWithCode(1),
+                "worker stamp mismatch");
+
+    // A different fleet size over the same slice is equally fatal.
+    other = stampedIdentity();
+    other.workerCount = 8;
+    EXPECT_EXIT(recoverCheckpoint(f.path, other),
+                ::testing::ExitedWithCode(1),
+                "worker stamp mismatch");
+}
+
+TEST(CheckpointDeathTest, CorruptedStampWithValidCrcIsFatal)
+{
+    // Rewrite the worker-id field and re-seal the CRC: framing is
+    // pristine, the stamp lies.  Recovery must still refuse -- the
+    // identity check is what stands between a renamed/doctored log
+    // and a silently wrong merge.
+    TempFile f(tempPath("stamp-forge"));
+    {
+        CheckpointWriter w =
+            CheckpointWriter::create(f.path, stampedIdentity());
+        auto p = epochPayload(0);
+        w.append(p);
+    }
+    auto bytes = readFile(f.path);
+    patchHeader(bytes, kWorkerIdOff, 3); // claims worker 3, range of 1
+    writeFile(f.path, bytes);
+    EXPECT_EXIT(recoverCheckpoint(f.path, stampedIdentity()),
+                ::testing::ExitedWithCode(1),
+                "worker stamp mismatch");
+}
+
+TEST(CheckpointDeathTest, VersionNewerThanBinaryIsFatal)
+{
+    // Regression: a log written by a future format version must fail
+    // with the explicit "newer than binary" diagnostic, not a generic
+    // identity mismatch (and never be truncated or overwritten).
+    TempFile f(tempPath("v3"));
+    buildLog(f.path, 1);
+    auto bytes = readFile(f.path);
+    patchHeader(bytes, kVersionOff, kCheckpointVersion + 1);
+    writeFile(f.path, bytes);
+    EXPECT_EXIT(recoverCheckpoint(f.path, kIdentity),
+                ::testing::ExitedWithCode(1),
+                "log version newer than binary");
+}
+
+TEST(CheckpointDeathTest, VersionOlderThanSupportedIsFatal)
+{
+    TempFile f(tempPath("v0"));
+    buildLog(f.path, 1);
+    auto bytes = readFile(f.path);
+    patchHeader(bytes, kVersionOff, 0);
+    writeFile(f.path, bytes);
+    EXPECT_EXIT(recoverCheckpoint(f.path, kIdentity),
+                ::testing::ExitedWithCode(1),
+                "oldest supported version");
 }
 
 } // namespace
