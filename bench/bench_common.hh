@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parse_num.hh"
 #include "common/table.hh"
 #include "cpu/system_sim.hh"
 #include "engine/sim_engine.hh"
@@ -29,13 +30,12 @@
 namespace arcc::bench
 {
 
-/** Per-core instruction budget (env ARCC_BENCH_INSTRS overrides). */
+/** Per-core instruction budget (env ARCC_BENCH_INSTRS overrides;
+ *  a set-but-unparseable value is fatal, never a silent zero). */
 inline std::uint64_t
 instrBudget()
 {
-    if (const char *env = std::getenv("ARCC_BENCH_INSTRS"))
-        return std::strtoull(env, nullptr, 10);
-    return 1'000'000;
+    return envU64("ARCC_BENCH_INSTRS", 1'000'000);
 }
 
 /** Pre-format a counter / double for a jsonRow value. */

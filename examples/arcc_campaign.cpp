@@ -47,6 +47,7 @@
 #include <unistd.h>
 
 #include "campaign/campaign.hh"
+#include "common/parse_num.hh"
 #include "engine/sim_engine.hh"
 
 using namespace arcc;
@@ -234,26 +235,26 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (std::strcmp(argv[i], "--channels") == 0)
-            spec.channels = std::strtoull(value(), nullptr, 10);
+            spec.channels = parseU64("--channels", value());
         else if (std::strcmp(argv[i], "--years") == 0)
-            spec.years = std::atof(value());
+            spec.years = parseDouble("--years", value());
         else if (std::strcmp(argv[i], "--boost") == 0)
-            spec.rateBoost = std::atof(value());
+            spec.rateBoost = parseDouble("--boost", value());
         else if (std::strcmp(argv[i], "--seed") == 0)
-            spec.seed = std::strtoull(value(), nullptr, 10);
+            spec.seed = parseU64("--seed", value());
         else if (std::strcmp(argv[i], "--epoch-trials") == 0)
-            spec.epochTrials = std::strtoull(value(), nullptr, 10);
+            spec.epochTrials = parseU64("--epoch-trials", value());
         else if (std::strcmp(argv[i], "--group-devices") == 0)
-            spec.devicesPerGroup = std::atoi(value());
+            spec.devicesPerGroup =
+                parseInt("--group-devices", value());
         else if (std::strcmp(argv[i], "--max-epochs") == 0)
-            maxEpochs = std::strtoull(value(), nullptr, 10);
+            maxEpochs = parseU64("--max-epochs", value());
         else if (std::strcmp(argv[i], "--checkpoint") == 0)
             checkpointBase = value();
         else if (std::strcmp(argv[i], "--workers") == 0)
-            workers = static_cast<std::uint32_t>(
-                std::strtoul(value(), nullptr, 10));
+            workers = parseU32("--workers", value());
         else if (std::strcmp(argv[i], "--worker-id") == 0)
-            workerId = std::strtol(value(), nullptr, 10);
+            workerId = parseI64("--worker-id", value());
         else if (std::strcmp(argv[i], "--merge") == 0)
             merge = true;
         else if (std::strcmp(argv[i], "--quiet") == 0)

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * arcc_load -- concurrent load generator and determinism harness for
+ * arccd.
+ *
+ * Drives the shared standardServiceRequests() set against a running
+ * daemon from many pipelining clients at once, three ways at once:
+ *
+ *  - **stress**: clients x set x passes requests (312 at the
+ *    defaults) hit the daemon concurrently, each client submitting
+ *    the set in a different rotation so arrival order varies;
+ *  - **determinism**: every client digests its responses in set
+ *    order; all digests must be identical (same request => byte-
+ *    identical response regardless of concurrency, cache state, or
+ *    arrival order), and the warm passes must byte-match the cold
+ *    one.  The digest is printed for CI to diff against its golden.
+ *  - **cache**: the warm passes must be >= 90% cache-served
+ *    (measured from the daemon's stats counters, which are sampled
+ *    between phases, never folded into the digest).
+ *
+ * Usage:
+ *   arcc_load --socket PATH [--clients N] [--repeats N] [--instrs N]
+ *             [--campaign-channels N] [--shutdown]
+ *
+ * Exit status 0 = every assertion held.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/crc32c.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parse_num.hh"
+#include "common/rng.hh"
+#include "service/request.hh"
+
+using namespace arcc;
+
+namespace
+{
+
+/** Blocking line-oriented client over one Unix socket. */
+class LineClient
+{
+  public:
+    ~LineClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool
+    connect(const std::string &path)
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.empty() || path.size() >= sizeof addr.sun_path)
+            return false;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return false;
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) < 0) {
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string out = line;
+        out.push_back('\n');
+        std::size_t sent = 0;
+        while (sent < out.size()) {
+            const ssize_t n = ::send(fd_, out.data() + sent,
+                                     out.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                return false;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool
+    readLine(std::string &out)
+    {
+        for (;;) {
+            const std::size_t nl = pending_.find('\n');
+            if (nl != std::string::npos) {
+                out = pending_.substr(0, nl);
+                pending_.erase(0, nl + 1);
+                return true;
+            }
+            char buf[65536];
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            pending_.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+/** Fold one set-ordered response list into a stable digest. */
+std::uint64_t
+digestResponses(const std::vector<std::string> &responses)
+{
+    std::uint64_t h = 0x6172636364ULL; // "arccd"
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        const std::string &r = responses[i];
+        h = Rng::mix64(h ^ i);
+        h = Rng::mix64(h ^ r.size());
+        h = Rng::mix64(
+            h ^ crc32c({reinterpret_cast<const std::uint8_t *>(
+                            r.data()),
+                        r.size()}));
+    }
+    return h;
+}
+
+/** One client's pass outcome. */
+struct ClientResult
+{
+    /** Responses in *set* order (rotation undone). */
+    std::vector<std::string> responses;
+    std::string error;
+};
+
+/**
+ * Pipeline the whole request set rotated by `offset`, then read the
+ * responses back (in-order delivery is the server's contract) and
+ * un-rotate them into set order.
+ */
+void
+runPass(const std::string &socket,
+        const std::vector<std::string> &lines, std::size_t offset,
+        ClientResult &out)
+{
+    LineClient client;
+    if (!client.connect(socket)) {
+        out.error = "cannot connect to " + socket;
+        return;
+    }
+    const std::size_t n = lines.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        if (!client.sendLine(lines[(k + offset) % n])) {
+            out.error = "send failed";
+            return;
+        }
+    }
+    out.responses.assign(n, std::string());
+    for (std::size_t k = 0; k < n; ++k) {
+        std::string resp;
+        if (!client.readLine(resp)) {
+            out.error = "daemon hung up mid-pass";
+            return;
+        }
+        out.responses[(k + offset) % n] = std::move(resp);
+    }
+}
+
+/** Sample the daemon's stats counters on a fresh connection. */
+bool
+sampleStats(const std::string &socket, std::uint64_t &hits,
+            std::uint64_t &misses)
+{
+    LineClient client;
+    std::string resp;
+    if (!client.connect(socket) ||
+        !client.sendLine("{\"kind\":\"stats\"}") ||
+        !client.readLine(resp))
+        return false;
+    json::Value doc;
+    std::string error;
+    if (!json::parse(resp, doc, error))
+        return false;
+    const json::Value *stats = doc.find("stats");
+    if (!stats)
+        return false;
+    const json::Value *h = stats->find("hits");
+    const json::Value *m = stats->find("misses");
+    if (!h || !h->isUint || !m || !m->isUint)
+        return false;
+    hits = h->uintValue;
+    misses = m->uintValue;
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--clients N] [--repeats N]\n"
+                 "          [--instrs N] [--campaign-channels N]\n"
+                 "          [--shutdown]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket;
+    std::uint64_t clients = 8;
+    std::uint64_t repeats = 2;
+    std::uint64_t instrs = 50'000;
+    std::uint64_t channels = 64;
+    bool shutdownAfter = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (a == "--socket")
+            socket = need("--socket");
+        else if (a == "--clients")
+            clients = parseU64("--clients", need("--clients"));
+        else if (a == "--repeats")
+            repeats = parseU64("--repeats", need("--repeats"));
+        else if (a == "--instrs")
+            instrs = parseU64("--instrs", need("--instrs"));
+        else if (a == "--campaign-channels")
+            channels = parseU64("--campaign-channels",
+                                need("--campaign-channels"));
+        else if (a == "--shutdown")
+            shutdownAfter = true;
+        else {
+            usage(argv[0]);
+            return a == "--help" ? 0 : 1;
+        }
+    }
+    if (socket.empty() || clients < 1 || clients > 64 ||
+        instrs < 1 || channels < 1) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    std::vector<std::string> lines;
+    for (const ServiceRequest &r :
+         standardServiceRequests(instrs, channels))
+        lines.push_back(r.canonical());
+
+    // ---- Phase A: the cold pass, all clients at once. ----------------
+    std::vector<ClientResult> cold(clients);
+    {
+        std::vector<std::thread> threads;
+        for (std::uint64_t c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                runPass(socket, lines, c, cold[c]);
+            });
+        for (std::thread &t : threads)
+            t.join();
+    }
+    for (std::uint64_t c = 0; c < clients; ++c) {
+        if (!cold[c].error.empty()) {
+            std::fprintf(stderr, "arcc_load: client %llu: %s\n",
+                         static_cast<unsigned long long>(c),
+                         cold[c].error.c_str());
+            return 1;
+        }
+        for (std::size_t k = 0; k < lines.size(); ++k) {
+            if (cold[c].responses[k].rfind("{\"ok\":true", 0) != 0) {
+                std::fprintf(stderr,
+                             "arcc_load: request %zu failed: %s\n", k,
+                             cold[c].responses[k].c_str());
+                return 1;
+            }
+        }
+    }
+    const std::uint64_t digest = digestResponses(cold[0].responses);
+    for (std::uint64_t c = 1; c < clients; ++c) {
+        if (digestResponses(cold[c].responses) != digest) {
+            std::fprintf(stderr,
+                         "arcc_load: client %llu saw different "
+                         "responses than client 0\n",
+                         static_cast<unsigned long long>(c));
+            return 1;
+        }
+    }
+
+    std::uint64_t hits0 = 0, misses0 = 0;
+    if (!sampleStats(socket, hits0, misses0)) {
+        std::fprintf(stderr, "arcc_load: stats sample failed\n");
+        return 1;
+    }
+
+    // ---- Phase B: the warm passes; must byte-match the cold one. -----
+    std::uint64_t mismatches = 0;
+    if (repeats > 0) {
+        std::vector<std::vector<ClientResult>> warm(
+            clients, std::vector<ClientResult>(repeats));
+        std::vector<std::thread> threads;
+        for (std::uint64_t c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                for (std::uint64_t r = 0; r < repeats; ++r)
+                    runPass(socket, lines, c + r + 1, warm[c][r]);
+            });
+        for (std::thread &t : threads)
+            t.join();
+        for (std::uint64_t c = 0; c < clients; ++c) {
+            for (std::uint64_t r = 0; r < repeats; ++r) {
+                if (!warm[c][r].error.empty()) {
+                    std::fprintf(
+                        stderr, "arcc_load: warm client %llu: %s\n",
+                        static_cast<unsigned long long>(c),
+                        warm[c][r].error.c_str());
+                    return 1;
+                }
+                if (warm[c][r].responses != cold[c].responses)
+                    ++mismatches;
+            }
+        }
+    }
+    if (mismatches) {
+        std::fprintf(stderr,
+                     "arcc_load: %llu warm passes differed from the "
+                     "cold pass\n",
+                     static_cast<unsigned long long>(mismatches));
+        return 1;
+    }
+
+    std::uint64_t hits1 = 0, misses1 = 0;
+    if (!sampleStats(socket, hits1, misses1)) {
+        std::fprintf(stderr, "arcc_load: stats sample failed\n");
+        return 1;
+    }
+
+    const std::uint64_t total =
+        clients * lines.size() * (1 + repeats);
+    const std::uint64_t warmRequests =
+        clients * lines.size() * repeats;
+    const std::uint64_t warmHits = hits1 - hits0;
+    const double hitPct =
+        warmRequests
+            ? 100.0 * static_cast<double>(warmHits) /
+                  static_cast<double>(warmRequests)
+            : 100.0;
+
+    std::printf("arcc_load: %llu clients x %zu requests x %llu "
+                "passes = %llu requests\n",
+                static_cast<unsigned long long>(clients),
+                lines.size(),
+                static_cast<unsigned long long>(1 + repeats),
+                static_cast<unsigned long long>(total));
+    std::printf("response_digest 0x%016llx\n",
+                static_cast<unsigned long long>(digest));
+    std::printf("repeat_leg: %llu/%llu cache-served (%.1f%%)\n",
+                static_cast<unsigned long long>(warmHits),
+                static_cast<unsigned long long>(warmRequests),
+                hitPct);
+
+    if (repeats > 0 && hitPct < 90.0) {
+        std::fprintf(stderr,
+                     "arcc_load: warm passes were only %.1f%% "
+                     "cache-served (need >= 90%%)\n",
+                     hitPct);
+        return 1;
+    }
+
+    if (shutdownAfter) {
+        LineClient client;
+        std::string resp;
+        if (!client.connect(socket) ||
+            !client.sendLine("{\"kind\":\"shutdown\"}") ||
+            !client.readLine(resp)) {
+            std::fprintf(stderr, "arcc_load: shutdown failed\n");
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse_num.hh"
 #include "common/table.hh"
 #include "cpu/system_sim.hh"
 #include "cpu/trace.hh"
@@ -68,10 +69,10 @@ main(int argc, char **argv)
         else if (a == "--fault")
             fault = need("--fault");
         else if (a == "--fraction")
-            fraction = std::atof(need("--fraction"));
+            fraction = parseDouble("--fraction", need("--fraction"));
         else if (a == "--instrs")
-            cfg.instrsPerCore = std::strtoull(need("--instrs"),
-                                              nullptr, 10);
+            cfg.instrsPerCore = parseU64("--instrs",
+                                         need("--instrs"));
         else if (a == "--sectored")
             cfg.sectoredLlc = true;
         else if (a == "--trace")
@@ -81,6 +82,10 @@ main(int argc, char **argv)
             return a == "--help" ? 0 : 1;
         }
     }
+
+    if (fraction != -1.0 && (fraction < 0.0 || fraction > 1.0))
+        fatal("--fraction %g: need a page fraction in [0, 1]",
+              fraction);
 
     if (config_name == "baseline")
         cfg.mem = baselineConfig();

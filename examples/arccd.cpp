@@ -1,0 +1,117 @@
+/**
+ * @file
+ * arccd -- the simulation-as-a-service daemon.
+ *
+ * Serves newline-delimited JSON requests (synthetic mixes, trace
+ * replays, campaign slices) over a Unix domain socket, with fair
+ * per-client queueing and responses memoized by canonical request.
+ * See docs/ARCHITECTURE.md ("The service daemon") for the request
+ * lifecycle and src/service/request.hh for the wire schema.
+ *
+ * Usage:
+ *   arccd --socket PATH [--workers N] [--cache-entries N]
+ *         [--cache-mb N]
+ *
+ * The daemon prints one "listening" line once the socket is ready
+ * (scripts wait for it), then serves until a client sends
+ * {"kind":"shutdown"}.  Exit prints the final scheduler counters.
+ *
+ * Example session:
+ *   arccd --socket /tmp/arccd.sock &
+ *   printf '%s\n' '{"kind":"mix","mix":"Mix3","fault":"device"}' |
+ *       nc -U /tmp/arccd.sock
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/parse_num.hh"
+#include "service/server.hh"
+
+using namespace arcc;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--workers N]\n"
+                 "          [--cache-entries N] [--cache-mb N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArccdServer::Options opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (a == "--socket") {
+            opts.socketPath = need("--socket");
+        } else if (a == "--workers") {
+            const std::uint64_t n =
+                parseU64("--workers", need("--workers"));
+            if (n < 1 || n > 256)
+                fatal("--workers=%llu: need [1, 256]",
+                      static_cast<unsigned long long>(n));
+            opts.service.workers = static_cast<int>(n);
+        } else if (a == "--cache-entries") {
+            const std::uint64_t n = parseU64("--cache-entries",
+                                             need("--cache-entries"));
+            if (n < 1)
+                fatal("--cache-entries must be >= 1");
+            opts.service.cache.maxEntries =
+                static_cast<std::size_t>(n);
+        } else if (a == "--cache-mb") {
+            const std::uint64_t n =
+                parseU64("--cache-mb", need("--cache-mb"));
+            if (n < 1 || n > (64ULL << 10))
+                fatal("--cache-mb=%llu: need [1, 65536]",
+                      static_cast<unsigned long long>(n));
+            opts.service.cache.maxBytes =
+                static_cast<std::size_t>(n) << 20;
+        } else {
+            usage(argv[0]);
+            return a == "--help" ? 0 : 1;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    ArccdServer server(opts);
+    std::string error;
+    if (!server.start(error))
+        fatal("arccd: %s", error.c_str());
+    std::printf("arccd listening on %s (%d workers)\n",
+                opts.socketPath.c_str(), opts.service.workers);
+    std::fflush(stdout);
+
+    server.waitForShutdown();
+    server.stop();
+
+    const ServiceStats s = server.service().stats();
+    std::printf("arccd exiting: %llu requests (%llu ok, %llu errors), "
+                "%llu hits / %llu misses / %llu coalesced, "
+                "%llu cached entries\n",
+                static_cast<unsigned long long>(s.received),
+                static_cast<unsigned long long>(s.ok),
+                static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.cacheHits),
+                static_cast<unsigned long long>(s.cacheMisses),
+                static_cast<unsigned long long>(s.coalesced),
+                static_cast<unsigned long long>(s.cacheEntries));
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse_num.hh"
 #include "common/table.hh"
 #include "faults/lifetime_mc.hh"
 #include "reliability/sdc_model.hh"
@@ -24,9 +25,10 @@ using namespace arcc;
 int
 main(int argc, char **argv)
 {
-    double years = argc > 1 ? std::atof(argv[1]) : 7.0;
-    double factor = argc > 2 ? std::atof(argv[2]) : 1.0;
-    int channels = argc > 3 ? std::atoi(argv[3]) : 10000;
+    double years = argc > 1 ? parseDouble("years", argv[1]) : 7.0;
+    double factor =
+        argc > 2 ? parseDouble("rate_factor", argv[2]) : 1.0;
+    int channels = argc > 3 ? parseInt("channels", argv[3]) : 10000;
     if (years <= 0 || factor <= 0 || channels <= 0) {
         std::fprintf(stderr,
                      "usage: %s [years>0] [rate_factor>0] [channels>0]\n",

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Strict recursive-descent JSON parser and writer helpers.
+ */
+
+#include "common/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace arcc::json
+{
+
+namespace
+{
+
+/** Parser state: a cursor over the input plus the first error. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+    /** Nesting guard: a service must not be stack-smashable by
+     *  ten thousand '['s. */
+    int depth = 0;
+    static constexpr int kMaxDepth = 32;
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error.empty())
+            error = message + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseValue(Value &out);
+    bool parseString(std::string &out);
+    bool parseNumber(Value &out);
+    bool parseObject(Value &out);
+    bool parseArray(Value &out);
+    bool parseLiteral(std::string_view word, Value &out);
+};
+
+bool
+Parser::parseString(std::string &out)
+{
+    if (!consume('"'))
+        return fail("expected '\"'");
+    out.clear();
+    while (pos < text.size()) {
+        const char c = text[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            return fail("unescaped control character in string");
+        if (c != '\\') {
+            out.push_back(c);
+            ++pos;
+            continue;
+        }
+        if (pos + 1 >= text.size())
+            return fail("truncated escape");
+        const char e = text[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size())
+                return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char h = text[pos + i];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return fail("bad \\u escape digit");
+            }
+            pos += 4;
+            // UTF-8 encode the basic-multilingual-plane code point;
+            // surrogate pairs are rejected (the wire format is ASCII
+            // in practice, and a half pair must not pass silently).
+            if (code >= 0xd800 && code <= 0xdfff)
+                return fail("surrogate \\u escapes are not supported");
+            if (code < 0x80) {
+                out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+                out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                out.push_back(
+                    static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+                out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                out.push_back(
+                    static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                out.push_back(
+                    static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+    return fail("unterminated string");
+}
+
+bool
+Parser::parseNumber(Value &out)
+{
+    const std::size_t start = pos;
+    consume('-');
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return fail("malformed number");
+    // Leading zero rule: "0" or "0.x", never "042".
+    if (text[pos] == '0' && pos + 1 < text.size() &&
+        std::isdigit(static_cast<unsigned char>(text[pos + 1])))
+        return fail("leading zero in number");
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    bool integral = true;
+    if (consume('.')) {
+        integral = false;
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("malformed number");
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+        integral = false;
+        ++pos;
+        if (pos < text.size() &&
+            (text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("malformed number");
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    const std::string_view lit = text.substr(start, pos - start);
+    out = Value{};
+    out.type = Value::Type::Number;
+    if (integral) {
+        if (lit[0] != '-') {
+            std::uint64_t u = 0;
+            const auto [p, ec] = std::from_chars(
+                lit.data(), lit.data() + lit.size(), u, 10);
+            if (ec == std::errc() && p == lit.data() + lit.size()) {
+                out.isUint = true;
+                out.uintValue = u;
+            }
+        }
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(
+            lit.data(), lit.data() + lit.size(), i, 10);
+        if (ec == std::errc() && p == lit.data() + lit.size()) {
+            out.isInt = true;
+            out.intValue = i;
+        }
+        if (!out.isInt && !out.isUint)
+            return fail("integer literal out of 64-bit range");
+    }
+    out.number = std::strtod(std::string(lit).c_str(), nullptr);
+    return true;
+}
+
+bool
+Parser::parseObject(Value &out)
+{
+    out = Value{};
+    out.type = Value::Type::Object;
+    ++pos; // '{'
+    skipSpace();
+    if (consume('}'))
+        return true;
+    for (;;) {
+        skipSpace();
+        std::string key;
+        if (!parseString(key))
+            return false;
+        for (const auto &[existing, v] : out.object)
+            if (existing == key)
+                return fail("duplicate key \"" + key + "\"");
+        skipSpace();
+        if (!consume(':'))
+            return fail("expected ':'");
+        Value member;
+        if (!parseValue(member))
+            return false;
+        out.object.emplace_back(std::move(key), std::move(member));
+        skipSpace();
+        if (consume(','))
+            continue;
+        if (consume('}'))
+            return true;
+        return fail("expected ',' or '}'");
+    }
+}
+
+bool
+Parser::parseArray(Value &out)
+{
+    out = Value{};
+    out.type = Value::Type::Array;
+    ++pos; // '['
+    skipSpace();
+    if (consume(']'))
+        return true;
+    for (;;) {
+        Value element;
+        if (!parseValue(element))
+            return false;
+        out.array.push_back(std::move(element));
+        skipSpace();
+        if (consume(','))
+            continue;
+        if (consume(']'))
+            return true;
+        return fail("expected ',' or ']'");
+    }
+}
+
+bool
+Parser::parseLiteral(std::string_view word, Value &out)
+{
+    if (text.substr(pos, word.size()) != word)
+        return fail("unexpected token");
+    pos += word.size();
+    out = Value{};
+    if (word == "true") {
+        out.type = Value::Type::Bool;
+        out.boolean = true;
+    } else if (word == "false") {
+        out.type = Value::Type::Bool;
+        out.boolean = false;
+    } else {
+        out.type = Value::Type::Null;
+    }
+    return true;
+}
+
+bool
+Parser::parseValue(Value &out)
+{
+    if (++depth > kMaxDepth)
+        return fail("nesting too deep");
+    skipSpace();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': ok = parseObject(out); break;
+      case '[': ok = parseArray(out); break;
+      case '"':
+        out = Value{};
+        out.type = Value::Type::String;
+        ok = parseString(out.str);
+        break;
+      case 't': ok = parseLiteral("true", out); break;
+      case 'f': ok = parseLiteral("false", out); break;
+      case 'n': ok = parseLiteral("null", out); break;
+      default: ok = parseNumber(out); break;
+    }
+    --depth;
+    return ok;
+}
+
+} // anonymous namespace
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+bool
+parse(std::string_view text, Value &out, std::string &error)
+{
+    Parser p;
+    p.text = text;
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (p.pos != text.size()) {
+        p.fail("trailing garbage after value");
+        error = p.error;
+        return false;
+    }
+    return true;
+}
+
+std::string
+quote(std::string_view s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+number(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace arcc::json

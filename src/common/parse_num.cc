@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Checked numeric parsing implementation.
+ */
+
+#include "common/parse_num.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace arcc
+{
+
+namespace
+{
+
+/** Shared guts of the integer parsers: strict from_chars over the
+ *  whole string.  `kind` names the expected type in diagnostics. */
+template <class T>
+T
+parseIntegral(const char *what, const char *text, const char *kind)
+{
+    if (!text || *text == '\0')
+        fatal("%s: expected %s, got an empty string", what, kind);
+    if constexpr (!std::numeric_limits<T>::is_signed) {
+        if (*text == '-')
+            fatal("%s: expected %s, got negative value '%s'", what,
+                  kind, text);
+    }
+    T value{};
+    const char *end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, value, 10);
+    if (ec == std::errc::result_out_of_range)
+        fatal("%s: value '%s' is out of range for %s", what, text,
+              kind);
+    if (ec != std::errc() || ptr != end)
+        fatal("%s: expected %s, got '%s'", what, kind, text);
+    return value;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+parseU64(const char *what, const char *text)
+{
+    return parseIntegral<std::uint64_t>(what, text,
+                                        "an unsigned integer");
+}
+
+std::int64_t
+parseI64(const char *what, const char *text)
+{
+    return parseIntegral<std::int64_t>(what, text, "an integer");
+}
+
+std::uint32_t
+parseU32(const char *what, const char *text)
+{
+    return parseIntegral<std::uint32_t>(what, text,
+                                        "an unsigned 32-bit integer");
+}
+
+int
+parseInt(const char *what, const char *text)
+{
+    return parseIntegral<int>(what, text, "an integer");
+}
+
+double
+parseDouble(const char *what, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s: expected a number, got an empty string", what);
+    // strtod rather than from_chars<double>: identical strictness via
+    // the end-pointer check, without depending on the FP from_chars
+    // support level of the standard library in use.
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    // strtod tolerates leading whitespace and a '+' sign; the strict
+    // contract does not.
+    if (end == text || *end != '\0' || text[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(text[0])))
+        fatal("%s: expected a number, got '%s'", what, text);
+    if (errno == ERANGE || !std::isfinite(value))
+        fatal("%s: value '%s' is out of range", what, text);
+    return value;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    return parseU64(name, env);
+}
+
+} // namespace arcc

@@ -14,6 +14,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/parse_num.hh"
 
 namespace arcc
 {
@@ -21,20 +22,31 @@ namespace arcc
 namespace
 {
 
-/** Thread count from ARCC_THREADS, or 0 when unset / invalid. */
+/** Sanity cap on the executor count: far above any machine this runs
+ *  on, low enough that a mistyped "ARCC_THREADS=40000" cannot OOM the
+ *  process spawning stacks. */
+constexpr int kMaxThreads = 1024;
+
+/**
+ * Thread count from ARCC_THREADS, or 0 when unset / empty.
+ *
+ * A set-but-invalid value is fatal, not a warning: the variable sizes
+ * every engine in the process, and the old atoi() path silently
+ * degraded "ARCC_THREADS=8cores" or "-4" to the hardware default --
+ * exactly the silent-zero coercion a long-running service cannot
+ * afford.  tests/test_engine.cc pins the fatal paths.
+ */
 int
 envThreads()
 {
     const char *env = std::getenv("ARCC_THREADS");
-    if (!env)
+    if (!env || *env == '\0')
         return 0;
-    int n = std::atoi(env);
-    if (n < 1) {
-        warn("ignoring ARCC_THREADS='%s' (need a positive integer)",
-             env);
-        return 0;
-    }
-    return n;
+    const std::uint64_t n = parseU64("ARCC_THREADS", env);
+    if (n < 1 || n > kMaxThreads)
+        fatal("ARCC_THREADS=%s: need a thread count in [1, %d]", env,
+              kMaxThreads);
+    return static_cast<int>(n);
 }
 
 /** Completion state shared by one forEachShard call. */

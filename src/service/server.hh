@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ArccdServer: newline-delimited JSON over a Unix domain socket.
+ *
+ * The transport half of arccd, layered over SimService.  Each
+ * accepted connection is one fair-queueing client and gets two
+ * threads:
+ *
+ *  - a *reader* that splits the byte stream into request lines and
+ *    submits each to the service immediately, so a client may
+ *    pipeline any number of requests without waiting;
+ *  - a *writer* that delivers responses strictly in request order.
+ *    Workers complete out of order; completions park in a
+ *    per-connection reorder buffer keyed by the request's sequence
+ *    number until their turn.  One line in, one line out, order
+ *    preserved -- that is the whole wire contract.
+ *
+ * A "shutdown" request is acknowledged in order like any response;
+ * after writing the ack the server's shutdown latch trips, waking
+ * whoever sits in waitForShutdown() (the arccd main).  Stopping the
+ * server closes the listener and both ends of every connection, then
+ * joins all threads; the service destructor answers anything still
+ * queued.
+ */
+
+#ifndef ARCC_SERVICE_SERVER_HH
+#define ARCC_SERVICE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/sim_service.hh"
+
+namespace arcc
+{
+
+/** The arccd daemon core: listener + connections + service. */
+class ArccdServer
+{
+  public:
+    struct Options
+    {
+        /** Unix socket path; bound fresh (stale files unlinked). */
+        std::string socketPath;
+        SimService::Options service;
+        /** Reject request lines longer than this (a malformed client
+         *  must not buffer the daemon into the ground). */
+        std::size_t maxLineBytes = 1 << 20;
+    };
+
+    explicit ArccdServer(const Options &options);
+
+    /** stop()s if still running. */
+    ~ArccdServer();
+
+    /**
+     * Bind, listen, and start accepting.
+     * @return true on success; false sets `error`.
+     */
+    bool start(std::string &error);
+
+    /** Block until a client's "shutdown" request has been answered
+     *  (or until stop() is called from another thread). */
+    void waitForShutdown();
+
+    /** Close the listener and every connection, join all threads. */
+    void stop();
+
+    SimService &service() { return service_; }
+    const std::string &socketPath() const { return options_.socketPath; }
+
+  private:
+    /** One accepted connection; owned via shared_ptr because service
+     *  callbacks may outlive the socket. */
+    struct Connection
+    {
+        int fd = -1;
+        std::uint64_t clientId = 0;
+        std::thread reader;
+        std::thread writer;
+
+        std::mutex mutex;
+        std::condition_variable ready;
+        /** Out-of-order completions parked by sequence number. */
+        std::map<std::uint64_t, ServiceResponse> completed;
+        std::uint64_t submitted = 0;
+        std::uint64_t written = 0;
+        /** Reader saw EOF / error; writer drains and exits. */
+        bool closed = false;
+    };
+
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void writerLoop(const std::shared_ptr<Connection> &conn);
+    void requestShutdown();
+
+    Options options_;
+    SimService service_;
+    int listenFd_ = -1;
+    std::thread acceptor_;
+    std::uint64_t nextClientId_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+    bool running_ = false;
+    std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+} // namespace arcc
+
+#endif // ARCC_SERVICE_SERVER_HH

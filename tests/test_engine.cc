@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -208,6 +210,83 @@ TEST(SimEngine, NestedShardedCallsDoNotDeadlock)
         engine.forEachIndex(4, [&](std::uint64_t) { ++inner; });
     });
     EXPECT_EQ(inner.load(), 16);
+}
+
+// --- ARCC_THREADS validation -------------------------------------------
+
+/** RAII guard: set ARCC_THREADS for one test, restore on exit. */
+class ArccThreadsGuard
+{
+  public:
+    explicit ArccThreadsGuard(const char *value)
+    {
+        if (const char *old = ::getenv("ARCC_THREADS")) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv("ARCC_THREADS", value, 1);
+    }
+
+    ~ArccThreadsGuard()
+    {
+        if (had_)
+            ::setenv("ARCC_THREADS", old_.c_str(), 1);
+        else
+            ::unsetenv("ARCC_THREADS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+TEST(SimEngineEnv, ValidThreadCountSizesTheEngine)
+{
+    ArccThreadsGuard guard("3");
+    SimEngine engine(SimEngine::Options{0}); // 0 = consult the env.
+    EXPECT_EQ(engine.threads(), 3);
+}
+
+TEST(SimEngineEnv, ExplicitOptionsIgnoreTheEnv)
+{
+    ArccThreadsGuard guard("3");
+    SimEngine engine(SimEngine::Options{2});
+    EXPECT_EQ(engine.threads(), 2);
+}
+
+// Regression: SimEngine used to read ARCC_THREADS with std::atoi and
+// silently fall back to the hardware count on garbage -- the variable
+// that sizes every engine in the process deserves a loud failure.
+TEST(SimEngineEnvDeath, GarbageThreadCountIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ArccThreadsGuard guard("8cores");
+    EXPECT_DEATH({ SimEngine engine(SimEngine::Options{0}); },
+                 "ARCC_THREADS.*8cores");
+}
+
+TEST(SimEngineEnvDeath, NegativeThreadCountIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ArccThreadsGuard guard("-4");
+    EXPECT_DEATH({ SimEngine engine(SimEngine::Options{0}); },
+                 "ARCC_THREADS.*negative");
+}
+
+TEST(SimEngineEnvDeath, ZeroThreadsIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ArccThreadsGuard guard("0");
+    EXPECT_DEATH({ SimEngine engine(SimEngine::Options{0}); },
+                 "ARCC_THREADS.*thread count");
+}
+
+TEST(SimEngineEnvDeath, AbsurdThreadCountIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ArccThreadsGuard guard("40000");
+    EXPECT_DEATH({ SimEngine engine(SimEngine::Options{0}); },
+                 "ARCC_THREADS.*thread count");
 }
 
 // --- determinism across thread counts ----------------------------------

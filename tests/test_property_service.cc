@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property tests for the arccd cache key: the canonical request form
+ * and its hash.
+ *
+ * The memoization contract has two directions.  Soundness: requests
+ * that specify different simulations must never share a cache key
+ * (else one sweep silently reads another's numbers).  Completeness:
+ * every spelling of the *same* simulation must collapse to the same
+ * key (else the cache never hits).  Both are fuzzed here from seeded
+ * Rng streams, plus the end-to-end check that hash-equal requests
+ * evaluate to byte-identical responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "cpu/workloads.hh"
+#include "engine/sim_engine.hh"
+#include "service/request.hh"
+#include "service/sim_service.hh"
+
+namespace arcc
+{
+namespace
+{
+
+const std::vector<std::string> kConfigs = {"baseline", "arcc",
+                                           "arcc4", "arcc8"};
+const std::vector<std::string> kFaults = {"none", "lane", "device",
+                                          "bank", "column"};
+
+/** Draw a random-but-valid mix request from an Rng stream. */
+ServiceRequest
+randomMixRequest(Rng &rng)
+{
+    ServiceRequest req;
+    req.kind = ServiceRequestKind::Mix;
+    req.config = kConfigs[rng.below(kConfigs.size())];
+    req.mix = table73Mixes()[rng.below(table73Mixes().size())].name;
+    req.instrs = 1 + rng.below(1'000'000);
+    req.seed = rng.next();
+    req.sectored = rng.below(2) == 1;
+    if (rng.below(2) == 1) {
+        req.fraction = static_cast<double>(rng.below(1001)) / 1000.0;
+        req.fault = "none";
+    } else {
+        req.fault = kFaults[rng.below(kFaults.size())];
+    }
+    return req;
+}
+
+/** Draw a random-but-valid campaign request from an Rng stream. */
+ServiceRequest
+randomCampaignRequest(Rng &rng)
+{
+    ServiceRequest req;
+    req.kind = ServiceRequestKind::Campaign;
+    req.campaign.channels = 1 + rng.below(4096);
+    req.campaign.years = 1.0 + static_cast<double>(rng.below(20));
+    req.campaign.rateBoost =
+        1.0 + static_cast<double>(rng.below(100000));
+    req.campaign.seed = rng.next();
+    req.campaign.scrubHours = 1.0 + static_cast<double>(rng.below(48));
+    req.campaign.devicesPerGroup = (rng.below(2) == 1) ? 18 : 36;
+    req.campaign.epochTrials = 1 + rng.below(1024);
+    req.campaign.shardTrials =
+        1 + rng.below(req.campaign.epochTrials);
+    return req;
+}
+
+/** All single-field mutations of a mix request that change the sim. */
+std::vector<ServiceRequest>
+mixMutations(const ServiceRequest &base)
+{
+    std::vector<ServiceRequest> out;
+    for (const std::string &c : kConfigs)
+        if (c != base.config) {
+            out.push_back(base);
+            out.back().config = c;
+        }
+    for (const WorkloadMix &m : table73Mixes())
+        if (m.name != base.mix) {
+            out.push_back(base);
+            out.back().mix = m.name;
+        }
+    if (base.fraction < 0.0) {
+        for (const std::string &f : kFaults)
+            if (f != base.fault) {
+                out.push_back(base);
+                out.back().fault = f;
+            }
+    }
+    out.push_back(base);
+    out.back().instrs = base.instrs + 1;
+    out.push_back(base);
+    out.back().seed = base.seed + 1;
+    out.push_back(base);
+    out.back().sectored = !base.sectored;
+    return out;
+}
+
+/** Re-spell a canonical request line without changing its meaning:
+ *  shuffle the key order and sprinkle whitespace. */
+std::string
+respell(const std::string &canonical, Rng &rng)
+{
+    // Split `{"k":v,...}` into its top-level `"k":v` fragments.  The
+    // only commas/braces inside a value live in the trace "paths"
+    // array, which this splitter tracks with a bracket depth count.
+    std::vector<std::string> fields;
+    int depth = 0;
+    bool inString = false;
+    std::string cur;
+    for (std::size_t i = 1; i + 1 < canonical.size(); ++i) {
+        const char ch = canonical[i];
+        if (inString) {
+            cur += ch;
+            if (ch == '\\') {
+                cur += canonical[++i];
+            } else if (ch == '"') {
+                inString = false;
+            }
+            continue;
+        }
+        if (ch == '"')
+            inString = true;
+        if (ch == '[')
+            ++depth;
+        if (ch == ']')
+            --depth;
+        if (ch == ',' && depth == 0) {
+            fields.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        cur += ch;
+    }
+    if (!cur.empty())
+        fields.push_back(cur);
+
+    for (std::size_t i = fields.size(); i > 1; --i)
+        std::swap(fields[i - 1], fields[rng.below(i)]);
+
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ",";
+        if (rng.below(2) == 1)
+            out += " ";
+        out += fields[i];
+        if (rng.below(2) == 1)
+            out += "  ";
+    }
+    out += "}";
+    return out;
+}
+
+// --- soundness: different specs never collide ---------------------------
+
+TEST(ServiceKeyProperty, MutatedRequestsNeverShareAKey)
+{
+    Rng rng(0x736f756e64ULL); // "sound"
+    for (int round = 0; round < 40; ++round) {
+        const ServiceRequest base = randomMixRequest(rng);
+        const std::string baseCanon = base.canonical();
+        const std::uint64_t baseHash = base.hash();
+        for (const ServiceRequest &mut : mixMutations(base)) {
+            EXPECT_NE(mut.canonical(), baseCanon)
+                << "round " << round;
+            EXPECT_NE(mut.hash(), baseHash)
+                << baseCanon << " vs " << mut.canonical();
+        }
+    }
+}
+
+TEST(ServiceKeyProperty, CampaignMutationsNeverShareAKey)
+{
+    Rng rng(0x63616d70ULL); // "camp"
+    for (int round = 0; round < 40; ++round) {
+        const ServiceRequest base = randomCampaignRequest(rng);
+        std::vector<ServiceRequest> muts;
+        muts.push_back(base);
+        muts.back().campaign.channels += 1;
+        muts.push_back(base);
+        muts.back().campaign.seed += 1;
+        muts.push_back(base);
+        muts.back().campaign.years += 0.5;
+        muts.push_back(base);
+        muts.back().campaign.rateBoost *= 2.0;
+        muts.push_back(base);
+        muts.back().campaign.epochTrials += 1;
+        muts.back().campaign.shardTrials = 1;
+        for (const ServiceRequest &mut : muts) {
+            EXPECT_NE(mut.canonical(), base.canonical());
+            EXPECT_NE(mut.hash(), base.hash());
+        }
+    }
+}
+
+TEST(ServiceKeyProperty, AFleetOfRandomRequestsIsCollisionFree)
+{
+    Rng rng(0x666c656574ULL); // "fleet"
+    std::set<std::string> canons;
+    std::set<std::uint64_t> hashes;
+    for (int i = 0; i < 400; ++i) {
+        const ServiceRequest req = (i % 4 == 3)
+                                       ? randomCampaignRequest(rng)
+                                       : randomMixRequest(rng);
+        canons.insert(req.canonical());
+        hashes.insert(req.hash());
+    }
+    // Distinct canonical forms => distinct hashes.  (Duplicate draws
+    // collapse identically in both sets, so the sizes must agree.)
+    EXPECT_EQ(canons.size(), hashes.size());
+}
+
+// --- completeness: spellings of one spec share the key ------------------
+
+TEST(ServiceKeyProperty, RespelledRequestsShareTheKey)
+{
+    Rng rng(0x7370656cULL); // "spel"
+    int parsed = 0;
+    for (int round = 0; round < 60; ++round) {
+        const ServiceRequest base = (round % 3 == 2)
+                                        ? randomCampaignRequest(rng)
+                                        : randomMixRequest(rng);
+        const std::string canon = base.canonical();
+        for (int variant = 0; variant < 4; ++variant) {
+            const std::string line = respell(canon, rng);
+            ServiceRequest req;
+            std::string err;
+            ASSERT_TRUE(ServiceRequest::parse(line, req, err))
+                << line << ": " << err;
+            EXPECT_EQ(req.canonical(), canon) << line;
+            EXPECT_EQ(req.hash(), base.hash()) << line;
+            ++parsed;
+        }
+    }
+    EXPECT_EQ(parsed, 240);
+}
+
+// --- the end-to-end property: hash-equal => byte-equal ------------------
+
+TEST(ServiceKeyProperty, HashEqualRequestsGetByteEqualResponses)
+{
+    SimEngine engine{SimEngine::Options{2}};
+    SimService::Options opts;
+    opts.engine = &engine;
+    opts.workers = 1;
+
+    Rng rng(0x62797465ULL); // "byte"
+    for (int round = 0; round < 3; ++round) {
+        ServiceRequest req = randomMixRequest(rng);
+        req.instrs = 2000 + rng.below(2000); // keep the sims tiny.
+        const std::string canon = req.canonical();
+
+        // Two independent services (disjoint caches), fed different
+        // spellings of the same request: the response bytes must
+        // match anyway, because the body is a pure function of the
+        // canonical form.
+        SimService fresh(opts), other(opts);
+        const ServiceResponse a = fresh.evaluate(canon);
+        const ServiceResponse b =
+            other.evaluate(respell(canon, rng));
+        ASSERT_EQ(a.body.rfind("{\"ok\":true", 0), 0u) << a.body;
+        EXPECT_EQ(a.body, b.body) << canon;
+    }
+}
+
+} // namespace
+} // namespace arcc
